@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the two join methods on the Section 9
+//! workload (small sizes — the full tables are produced by the
+//! `experiments` binary).
+
+use bench::{build_workload, paper_config, run_leg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_engine::Strategy;
+use fuzzy_workload::WorkloadSpec;
+
+fn join_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type_j_join");
+    group.sample_size(10);
+    for n in [500usize, 1000, 2000] {
+        let spec = WorkloadSpec { n_outer: n, n_inner: n, fanout: 7, ..Default::default() };
+        let (catalog, disk) = build_workload(spec);
+        group.bench_with_input(BenchmarkId::new("merge_join", n), &n, |b, _| {
+            b.iter(|| run_leg(&catalog, &disk, Strategy::Unnest, paper_config()))
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+            b.iter(|| run_leg(&catalog, &disk, Strategy::NestedLoop, paper_config()))
+        });
+    }
+    group.finish();
+}
+
+fn fanout_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_join_fanout");
+    group.sample_size(10);
+    for fanout in [1usize, 8, 32] {
+        let spec =
+            WorkloadSpec { n_outer: 1000, n_inner: 1000, fanout, ..Default::default() };
+        let (catalog, disk) = build_workload(spec);
+        group.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
+            b.iter(|| run_leg(&catalog, &disk, Strategy::Unnest, paper_config()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_methods, fanout_sweep);
+criterion_main!(benches);

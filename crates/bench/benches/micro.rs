@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the fuzzy primitives the joins are built on:
+//! possibility closed forms, interval-order comparisons, tuple codec, and
+//! the external sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_core::{interval_order, possibility, CmpOp, Trapezoid, Value};
+use fuzzy_rel::Tuple;
+use fuzzy_storage::{external_sort, HeapFile, SimDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_trapezoids(n: usize, seed: u64) -> Vec<Trapezoid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0.0..1000.0);
+            let w1 = rng.gen_range(0.0..5.0);
+            let wc = rng.gen_range(0.0..5.0);
+            let w2 = rng.gen_range(0.0..5.0);
+            Trapezoid::new(a, a + w1, a + w1 + wc, a + w1 + wc + w2).unwrap()
+        })
+        .collect()
+}
+
+fn possibility_ops(c: &mut Criterion) {
+    let xs = random_trapezoids(512, 1);
+    let ys = random_trapezoids(512, 2);
+    let mut group = c.benchmark_group("possibility");
+    for op in [CmpOp::Eq, CmpOp::Le, CmpOp::Lt, CmpOp::Ne] {
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |b, &op| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (x, y) in xs.iter().zip(&ys) {
+                    acc += possibility(black_box(x), op, black_box(y)).value();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn interval_order_cmp(c: &mut Criterion) {
+    let vals: Vec<Value> = random_trapezoids(1024, 3).into_iter().map(Value::fuzzy).collect();
+    c.bench_function("interval_order_sort_1024", |b| {
+        b.iter(|| {
+            let mut v = vals.clone();
+            v.sort_by(interval_order::cmp_values);
+            v
+        })
+    });
+}
+
+fn tuple_codec(c: &mut Criterion) {
+    let tuples: Vec<Tuple> = random_trapezoids(256, 4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            Tuple::full(vec![Value::number(i as f64), Value::fuzzy(t), Value::text("payload")])
+        })
+        .collect();
+    let encoded: Vec<Vec<u8>> = tuples.iter().map(|t| t.encode(128)).collect();
+    c.bench_function("tuple_encode_128B", |b| {
+        b.iter(|| tuples.iter().map(|t| t.encode(128).len()).sum::<usize>())
+    });
+    c.bench_function("tuple_decode_128B", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|bytes| Tuple::decode(bytes).unwrap().values.len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("tuple_decode_value_at", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .filter(|bytes| {
+                    Tuple::decode_value_at(bytes, 1).unwrap().interval().is_some()
+                })
+                .count()
+        })
+    });
+}
+
+fn external_sort_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    for n in [2000usize, 8000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let disk = SimDisk::with_default_page_size();
+                let file = HeapFile::create(&disk);
+                let tuples: Vec<Vec<u8>> = random_trapezoids(n, 5)
+                    .into_iter()
+                    .map(|t| Tuple::full(vec![Value::fuzzy(t)]).encode(64))
+                    .collect();
+                file.load(tuples.iter()).unwrap();
+                let (sorted, _) = external_sort(&disk, &file, 32, |a, b| {
+                    let va = Tuple::decode_value_at(a, 0).unwrap();
+                    let vb = Tuple::decode_value_at(b, 0).unwrap();
+                    interval_order::cmp_values(&va, &vb)
+                })
+                .unwrap();
+                sorted.num_records()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, possibility_ops, interval_order_cmp, tuple_codec, external_sort_bench);
+criterion_main!(benches);

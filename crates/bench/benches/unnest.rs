@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: unnested versus nested-loop evaluation for
+//! every query type in the paper's catalogue (Sections 4–7).
+
+use bench::{build_workload, paper_config, run_leg_sql};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_engine::Strategy;
+use fuzzy_workload::WorkloadSpec;
+
+const N: usize = 800;
+
+fn queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "type_n",
+            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)".to_string(),
+        ),
+        (
+            "type_j",
+            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.ID <> R.ID)"
+                .to_string(),
+        ),
+        (
+            "type_jx",
+            "SELECT R.ID FROM R WHERE R.V NOT IN \
+             (SELECT S.V FROM S WHERE S.X = R.X)"
+                .to_string(),
+        ),
+        (
+            "type_jall",
+            "SELECT R.ID FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.X = R.X)"
+                .to_string(),
+        ),
+        (
+            "type_ja_max",
+            "SELECT R.ID FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.X = R.X)"
+                .to_string(),
+        ),
+        (
+            "type_ja_count",
+            "SELECT R.ID FROM R WHERE 3 > (SELECT COUNT(S.V) FROM S WHERE S.X = R.X)"
+                .to_string(),
+        ),
+    ]
+}
+
+fn unnest_vs_nested_loop(c: &mut Criterion) {
+    let spec = WorkloadSpec { n_outer: N, n_inner: N, fanout: 7, ..Default::default() };
+    let (catalog, disk) = build_workload(spec);
+    let mut group = c.benchmark_group("unnest_vs_nl");
+    group.sample_size(10);
+    for (name, sql) in queries() {
+        group.bench_with_input(BenchmarkId::new("unnest", name), &sql, |b, sql| {
+            b.iter(|| run_leg_sql(&catalog, &disk, Strategy::Unnest, paper_config(), sql))
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", name), &sql, |b, sql| {
+            b.iter(|| run_leg_sql(&catalog, &disk, Strategy::NestedLoop, paper_config(), sql))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, unnest_vs_nested_loop);
+criterion_main!(benches);

@@ -1,0 +1,1236 @@
+//! Physical execution of unnested plans.
+//!
+//! The operators here follow Section 3's extended merge-join and the
+//! pipelined evaluations of Sections 5–7:
+//!
+//! * **filter scan** — folds a table's local predicates (the paper's p_i)
+//!   into tuple degrees, materializing only the positive survivors ("only
+//!   those tuples that satisfy p_i positively should be sorted");
+//! * **sort** — external merge sort by the interval order `⪯` of
+//!   Definition 3.1 on the join attribute;
+//! * **merge-join window** — streams the sorted outer relation; for each
+//!   outer tuple `r` presents exactly `Rng(r)`, the contiguous inner range
+//!   whose support intervals can intersect `r`'s; inner tuples wholly before
+//!   the current outer value leave the window forever (the paper's "will
+//!   also precede every `Rng(r_k)` for `k > i`" argument);
+//! * **anti accumulation** — the grouped `MIN(D)` of Queries JX′/JALL′,
+//!   computed on the fly because grouping is by the outer key and the outer
+//!   relation streams tuple-at-a-time;
+//! * **group aggregation** — the pipelined T1/T2/JA′ (COUNT′) evaluation with
+//!   the left-outer-join IF-THEN-ELSE branch for `COUNT` (Section 6).
+
+use crate::error::{EngineError, Result};
+use crate::naive::apply_aggregate;
+use crate::plan::{
+    AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable,
+    UnnestPlan,
+};
+use fuzzy_core::{interval_order, CmpOp, Degree, Value};
+use fuzzy_rel::{Attribute, Relation, Schema, StoredTable, Tuple};
+use fuzzy_sql::{AggFunc, Threshold};
+use fuzzy_storage::{external_sort, BufferPool, SimDisk, SortStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Execution configuration: the buffer and sort memory budgets, in pages.
+/// The paper's experiments use a 2 MB buffer of 8 KB pages (256 frames).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Buffer pool frames available to scans and joins (the paper's M).
+    pub buffer_pages: usize,
+    /// Pages of working memory for the external sort.
+    pub sort_pages: usize,
+    /// Reorder multi-way flat joins to minimize intermediate sizes
+    /// (Section 8's optimizer step). Answers are unaffected.
+    pub reorder_joins: bool,
+    /// Push `WITH D > z` thresholds into flat merge-joins: windows scan the
+    /// z-cut intervals instead of the supports, because `d(x = y) >= z`
+    /// exactly when the z-cuts intersect (the "equality indicator" direction
+    /// of the paper's reference \[42\]). Answers are unaffected.
+    pub threshold_pushdown: bool,
+    /// Which physical algorithm drives flat equi-join steps.
+    pub join_method: JoinMethod,
+}
+
+/// Physical algorithms for a flat equi-join step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// The paper's extended merge-join (Section 3).
+    #[default]
+    Merge,
+    /// The sampling-based partitioned join (Section 3's \[9\]/\[36\]
+    /// "more research is needed" direction; see `join_partitioned`).
+    Partitioned,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            buffer_pages: 256,
+            sort_pages: 256,
+            reorder_joins: true,
+            threshold_pushdown: true,
+            join_method: JoinMethod::default(),
+        }
+    }
+}
+
+/// CPU-side counters the physical operators accumulate (I/O counts live on
+/// the simulated disk).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Tuple pairs examined by join windows or nested loops.
+    pub pairs_examined: u64,
+    /// Comparisons performed by external sorting.
+    pub sort_comparisons: u64,
+    /// Initial runs generated across all sorts.
+    pub sort_runs: u64,
+    /// Wall-clock CPU time spent inside external sorts (Table 3's
+    /// sorting-share breakdown).
+    pub sort_cpu: std::time::Duration,
+    /// Physical reads issued by external sorts.
+    pub sort_reads: u64,
+    /// Physical writes issued by external sorts.
+    pub sort_writes: u64,
+    /// Largest merge window (`Rng(r)`) observed, in tuples. Section 3's
+    /// buffer-size assumption is that one outer page plus the pages of the
+    /// largest range fit in memory; this counter makes that checkable.
+    pub max_window: u64,
+}
+
+impl ExecStats {
+    fn absorb_sort(&mut self, s: &SortStats) {
+        self.sort_comparisons += s.comparisons;
+        self.sort_runs += s.initial_runs as u64;
+    }
+}
+
+/// The physical executor. Temporary files live on the same simulated disk as
+/// the base tables, so every spill and materialization is charged.
+pub struct Executor {
+    disk: SimDisk,
+    config: ExecConfig,
+    /// Statistics of the current/last `run` call.
+    pub stats: ExecStats,
+    temp_counter: u64,
+    /// Optional column-statistics registry consulted by the join-order
+    /// optimizer.
+    statistics: Option<std::rc::Rc<crate::stats_histogram::StatsRegistry>>,
+}
+
+// ---------------------------------------------------------------------------
+// Bound predicates over concatenated layouts
+// ---------------------------------------------------------------------------
+
+pub(crate) enum BoundOperand {
+    Col(usize),
+    Const(Value),
+}
+
+/// A comparison bound to a concrete (possibly concatenated) tuple layout.
+pub(crate) struct BoundCompare {
+    lhs: BoundOperand,
+    op: CmpOp,
+    rhs: BoundOperand,
+    tolerance: Option<f64>,
+}
+
+impl BoundCompare {
+    pub(crate) fn eval(&self, values: &[Value]) -> Degree {
+        let l = match &self.lhs {
+            BoundOperand::Col(i) => &values[*i],
+            BoundOperand::Const(v) => v,
+        };
+        let r = match &self.rhs {
+            BoundOperand::Col(i) => &values[*i],
+            BoundOperand::Const(v) => v,
+        };
+        match self.tolerance {
+            Some(t) => l.compare_similar(r, t),
+            None => l.compare(self.op, r),
+        }
+    }
+
+    /// Evaluates against a split pair of value slices (outer ++ inner)
+    /// without concatenating them.
+    pub(crate) fn eval_pair(&self, left: &[Value], right: &[Value]) -> Degree {
+        let pick = |o: &BoundOperand| -> Value {
+            match o {
+                BoundOperand::Col(i) => {
+                    if *i < left.len() {
+                        left[*i].clone()
+                    } else {
+                        right[*i - left.len()].clone()
+                    }
+                }
+                BoundOperand::Const(v) => v.clone(),
+            }
+        };
+        match self.tolerance {
+            Some(t) => pick(&self.lhs).compare_similar(&pick(&self.rhs), t),
+            None => pick(&self.lhs).compare(self.op, &pick(&self.rhs)),
+        }
+    }
+}
+
+/// Concatenated-tuple layout: maps `(binding, attr)` to a flat index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Layout {
+    parts: Vec<(String, Schema)>,
+}
+
+impl Layout {
+    pub(crate) fn of_table(t: &PlanTable) -> Layout {
+        Layout { parts: vec![(t.binding.clone(), t.table.schema().clone())] }
+    }
+
+    pub(crate) fn push(&mut self, t: &PlanTable) {
+        self.parts.push((t.binding.clone(), t.table.schema().clone()));
+    }
+
+    pub(crate) fn resolve(&self, c: &PlanCol) -> Result<usize> {
+        let mut off = 0usize;
+        for (binding, schema) in &self.parts {
+            if binding == &c.binding {
+                return Ok(off + c.attr);
+            }
+            off += schema.len();
+        }
+        Err(EngineError::Bind(format!("binding {:?} not in layout", c.binding)))
+    }
+
+    pub(crate) fn contains(&self, binding: &str) -> bool {
+        self.parts.iter().any(|(b, _)| b == binding)
+    }
+
+    /// A storable schema for the concatenation, attribute names qualified.
+    fn to_schema(&self) -> Schema {
+        let mut attrs = Vec::new();
+        for (binding, schema) in &self.parts {
+            for a in schema.attributes() {
+                attrs.push(Attribute::new(format!("{binding}.{}", a.name), a.ty));
+            }
+        }
+        Schema::new(attrs)
+    }
+
+    pub(crate) fn bind(&self, p: &PlanCompare) -> Result<BoundCompare> {
+        let bind_op = |o: &PlanOperand| -> Result<BoundOperand> {
+            Ok(match o {
+                PlanOperand::Col(c) => BoundOperand::Col(self.resolve(c)?),
+                PlanOperand::Const(v) => BoundOperand::Const(v.clone()),
+            })
+        };
+        Ok(BoundCompare {
+            lhs: bind_op(&p.lhs)?,
+            op: p.op,
+            rhs: bind_op(&p.rhs)?,
+            tolerance: p.tolerance,
+        })
+    }
+
+    pub(crate) fn bind_all(&self, ps: &[PlanCompare]) -> Result<Vec<BoundCompare>> {
+        ps.iter().map(|p| self.bind(p)).collect()
+    }
+
+    /// Output schema and indices of a projection.
+    pub(crate) fn projection(&self, select: &[PlanCol]) -> Result<(Schema, Vec<usize>)> {
+        let mut attrs = Vec::new();
+        let mut idx = Vec::new();
+        for c in select {
+            let i = self.resolve(c)?;
+            let (_, schema) = self
+                .parts
+                .iter()
+                .find(|(b, _)| b == &c.binding)
+                .expect("resolve succeeded");
+            let a = schema.attr(c.attr);
+            attrs.push(Attribute::new(a.name.clone(), a.ty));
+            idx.push(i);
+        }
+        Ok((Schema::new(attrs), idx))
+    }
+}
+
+impl Executor {
+    /// Creates an executor over the given disk.
+    pub fn new(disk: &SimDisk, config: ExecConfig) -> Executor {
+        Executor {
+            disk: disk.clone(),
+            config,
+            stats: ExecStats::default(),
+            temp_counter: 0,
+            statistics: None,
+        }
+    }
+
+    /// Attaches a column-statistics registry (histogram-based selectivity
+    /// estimates for the join-order optimizer).
+    pub fn with_statistics(
+        mut self,
+        stats: std::rc::Rc<crate::stats_histogram::StatsRegistry>,
+    ) -> Executor {
+        self.statistics = Some(stats);
+        self
+    }
+
+    /// The simulated disk this executor charges its I/O to.
+    pub(crate) fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// The configuration in effect.
+    pub(crate) fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// A buffer pool sized for a join-phase scan.
+    pub(crate) fn pool_for_join(&self) -> BufferPool {
+        self.pool(self.config.buffer_pages)
+    }
+
+    /// A fresh temp table with the same schema/padding as `like`.
+    pub(crate) fn make_temp(&mut self, tag: &str, like: &StoredTable) -> StoredTable {
+        let name = self.temp_name(tag);
+        StoredTable::create_padded(
+            &self.disk,
+            name,
+            like.schema().clone(),
+            like.min_record_bytes(),
+        )
+    }
+
+    fn pool(&self, frames: usize) -> BufferPool {
+        BufferPool::new(&self.disk, frames.max(1))
+    }
+
+    fn temp_name(&mut self, tag: &str) -> String {
+        self.temp_counter += 1;
+        format!("__tmp_{tag}_{}", self.temp_counter)
+    }
+
+    /// Runs an unnested plan, resetting statistics.
+    pub fn run(&mut self, plan: &UnnestPlan) -> Result<Relation> {
+        self.stats = ExecStats::default();
+        match plan {
+            UnnestPlan::Flat(p) => self.run_flat(p),
+            UnnestPlan::Anti(p) => self.run_anti(p),
+            UnnestPlan::Agg(p) => self.run_agg(p),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Building blocks
+    // -----------------------------------------------------------------------
+
+    /// Applies a table's local predicates (p_i), materializing positive
+    /// survivors. `min_degree` additionally prunes tuples that can never
+    /// survive a pushed-down `WITH` threshold (their degree already falls
+    /// below it, and fuzzy AND cannot recover). With no predicates and no
+    /// threshold the input passes through untouched.
+    pub(crate) fn filter_scan(&mut self, t: &PlanTable, min_degree: Degree) -> Result<StoredTable> {
+        if t.local_preds.is_empty() && !min_degree.is_positive() {
+            return Ok(t.table.clone());
+        }
+        let layout = Layout::of_table(t);
+        let preds = layout.bind_all(&t.local_preds)?;
+        let pool = self.pool(2);
+        let name = self.temp_name("filter");
+        let out = StoredTable::create_padded(
+            &self.disk,
+            name,
+            t.table.schema().clone(),
+            t.table.min_record_bytes(),
+        );
+        let mut w = out.file().bulk_writer();
+        for tuple in t.table.scan(&pool) {
+            let mut tuple = tuple?;
+            let mut d = tuple.degree;
+            for p in &preds {
+                d = d.and(p.eval(&tuple.values));
+                if !d.is_positive() {
+                    break;
+                }
+            }
+            if d.is_positive() && d.meets(min_degree, false) {
+                tuple.degree = d;
+                w.append(&tuple.encode(out.min_record_bytes()))?;
+            }
+        }
+        w.finish()?;
+        Ok(out)
+    }
+
+    /// Sorts a table by the interval order `⪯` of the α-cut intervals on
+    /// attribute `attr` (α = 0 is the paper's support order), attributing
+    /// its CPU time and I/O to the sort-phase counters.
+    fn sort_table(&mut self, table: &StoredTable, attr: usize, alpha: Degree) -> Result<StoredTable> {
+        let io_before = self.disk.io();
+        let started = std::time::Instant::now();
+        let (file, stats) =
+            external_sort(&self.disk, table.file(), self.config.sort_pages, move |a, b| {
+                let va = Tuple::decode_value_at(a, attr).expect("sortable record");
+                let vb = Tuple::decode_value_at(b, attr).expect("sortable record");
+                interval_order::cmp_values_at(&va, &vb, alpha)
+            })?;
+        self.stats.sort_cpu += started.elapsed();
+        let io = self.disk.io().since(&io_before);
+        self.stats.sort_reads += io.reads;
+        self.stats.sort_writes += io.writes;
+        self.stats.absorb_sort(&stats);
+        Ok(table.with_file(self.temp_name("sorted"), file))
+    }
+
+    /// Streams the sorted outer relation against the sorted inner one,
+    /// invoking `visit(r, Rng(r))` once per outer tuple (with an empty slice
+    /// when `Rng(r) = ∅`). The window may include dangling tuples whose join
+    /// degree against `r` is 0 — Section 3's caveat; callers skip them via
+    /// the predicate degree.
+    fn merge_window<F>(
+        &mut self,
+        outer: &StoredTable,
+        oattr: usize,
+        inner: &StoredTable,
+        iattr: usize,
+        alpha: Degree,
+        mut visit: F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Tuple, &[Tuple], &mut ExecStats) -> Result<()>,
+    {
+        // One frame for the outer scan; the rest serve the window's pages.
+        let opool = self.pool(1);
+        let ipool = self.pool(self.config.buffer_pages.saturating_sub(1).max(1));
+        let mut inner_scan = inner.scan(&ipool).peekable();
+        let mut window: VecDeque<Tuple> = VecDeque::new();
+        let mut stats = self.stats;
+        for r in outer.scan(&opool) {
+            let r = r?;
+            let rv = &r.values[oattr];
+            // Drop inner tuples wholly before rv: they precede every later
+            // outer range as well (outer is sorted by left endpoints).
+            while let Some(front) = window.front() {
+                if interval_order::strictly_before_at(&front.values[iattr], rv, alpha) {
+                    window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // Extend the window to cover Rng(r).
+            loop {
+                let after = match inner_scan.peek() {
+                    None => break,
+                    Some(Err(_)) => true, // force the error out below
+                    Some(Ok(s)) => {
+                        interval_order::strictly_after_at(&s.values[iattr], rv, alpha)
+                    }
+                };
+                if after {
+                    if let Some(Err(_)) = inner_scan.peek() {
+                        inner_scan.next().expect("peeked")?;
+                    }
+                    break; // first tuple past Rng(r); keep it for later outers
+                }
+                let s = inner_scan.next().expect("peeked")?;
+                if !interval_order::strictly_before_at(&s.values[iattr], rv, alpha) {
+                    window.push_back(s);
+                }
+                // else: wholly before every remaining outer tuple; drop.
+            }
+            window.make_contiguous();
+            let (slice, _) = window.as_slices();
+            stats.pairs_examined += slice.len() as u64;
+            stats.max_window = stats.max_window.max(slice.len() as u64);
+            visit(&r, slice, &mut stats)?;
+        }
+        self.stats = stats;
+        Ok(())
+    }
+
+    /// Block nested loop with per-outer-tuple accumulators: the outer is read
+    /// once in blocks of `M − 1` pages; the inner is scanned once per block
+    /// through a single reserved frame (the paper's Section 9 buffer
+    /// allocation for the nested-loop method). `init` seeds an accumulator
+    /// per outer tuple, `observe` is invoked per (outer, inner) pair, and
+    /// `finalize` fires once per outer tuple after its block's inner scan —
+    /// which is what lets this one operator evaluate *nested* queries (the
+    /// per-tuple temporary relation T(r) accumulates in `A`).
+    pub(crate) fn block_nested_loop<A>(
+        &mut self,
+        outer: &StoredTable,
+        inner: &StoredTable,
+        mut init: impl FnMut(&Tuple) -> A,
+        mut observe: impl FnMut(&mut A, &Tuple, &Tuple, &mut ExecStats) -> Result<()>,
+        mut finalize: impl FnMut(Tuple, A) -> Result<()>,
+    ) -> Result<()> {
+        let block_pages = self.config.buffer_pages.saturating_sub(1).max(1) as u64;
+        let n_pages = outer.num_pages();
+        let mut stats = self.stats;
+        let mut block_start = 0u64;
+        while block_start < n_pages {
+            let block_end = (block_start + block_pages).min(n_pages);
+            // Read the outer block (each page charged exactly once overall).
+            let mut block: Vec<(Tuple, A)> = Vec::new();
+            for pi in block_start..block_end {
+                let pid = outer.file().page_id(pi as u32)?;
+                let page = fuzzy_storage::Page::from_bytes(self.disk.read_page(pid)?)?;
+                for rec in page.records() {
+                    let t = Tuple::decode(rec)?;
+                    let a = init(&t);
+                    block.push((t, a));
+                }
+            }
+            // One scan of the inner per block, through one frame.
+            let ipool = self.pool(1);
+            for s in inner.scan(&ipool) {
+                let s = s?;
+                for (r, a) in &mut block {
+                    stats.pairs_examined += 1;
+                    observe(a, r, &s, &mut stats)?;
+                }
+            }
+            for (r, a) in block {
+                finalize(r, a)?;
+            }
+            block_start = block_end;
+        }
+        self.stats = stats;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Flat plans (N', J', SOME, chains, flat user queries)
+    // -----------------------------------------------------------------------
+
+    fn run_flat(&mut self, plan: &FlatPlan) -> Result<Relation> {
+        if plan.tables.is_empty() {
+            return Err(EngineError::Unsupported("empty FROM".into()));
+        }
+        if self.config.reorder_joins && plan.tables.len() > 2 {
+            let mut reordered = plan.clone();
+            if crate::optimizer::reorder_joins_with(&mut reordered, self.statistics.as_deref()) {
+                return self.run_flat_ordered(&reordered);
+            }
+        }
+        self.run_flat_ordered(plan)
+    }
+
+    fn run_flat_ordered(&mut self, plan: &FlatPlan) -> Result<Relation> {
+        // Threshold push-down (sound for flat plans only: every conjunct of
+        // the final min must reach the threshold, so tuples and join pairs
+        // below it can never contribute an answer row).
+        let alpha = match (self.config.threshold_pushdown, plan.threshold) {
+            (true, Some(t)) => Degree::clamped(t.z),
+            _ => Degree::ZERO,
+        };
+        let mut filtered: Vec<StoredTable> = Vec::with_capacity(plan.tables.len());
+        for t in &plan.tables {
+            filtered.push(self.filter_scan(t, alpha)?);
+        }
+
+        let mut layout = Layout::of_table(&plan.tables[0]);
+        let mut current = filtered[0].clone();
+        let mut remaining: Vec<PlanCompare> = plan.join_preds.clone();
+        let mut rows: Vec<(Vec<Value>, Degree)> = Vec::new();
+
+        // Pre-compute the projection on the FINAL layout: the last join step
+        // streams directly into the answer instead of materializing — the
+        // paper's merge-join inserts r.X into the answer as pairs are joined
+        // (Section 4), so the join result itself never hits the disk.
+        let mut final_layout = layout.clone();
+        for t in plan.tables.iter().skip(1) {
+            final_layout.push(t);
+        }
+        let (out_schema, select_idx) = final_layout.projection(&plan.select)?;
+
+        if plan.tables.len() == 1 {
+            // Single table: stream the filtered scan straight into the
+            // projection.
+            let bound = layout.bind_all(&remaining)?;
+            let pool = self.pool(2);
+            for t in current.scan(&pool) {
+                let t = t?;
+                let mut d = t.degree;
+                for b in &bound {
+                    d = d.and(b.eval(&t.values));
+                }
+                if d.is_positive() {
+                    rows.push((project(&t, &select_idx), d));
+                }
+            }
+            return Ok(finish(out_schema, rows, plan.threshold));
+        }
+
+        for (i, t) in plan.tables.iter().enumerate().skip(1) {
+            let last = i == plan.tables.len() - 1;
+            let mut next_layout = layout.clone();
+            next_layout.push(t);
+            // Predicates that become evaluable once t is joined; on the last
+            // step every remaining predicate must be applied.
+            let (evaluable, kept): (Vec<PlanCompare>, Vec<PlanCompare>) =
+                remaining.into_iter().partition(|p| {
+                    last || p.bindings().iter().all(|b| layout.contains(b) || *b == t.binding)
+                });
+            remaining = kept;
+            // Pick an equality between the bound set and t as merge driver.
+            let driver_pos = evaluable.iter().position(|p| {
+                p.op == CmpOp::Eq
+                    && matches!((p.lhs.as_col(), p.rhs.as_col()), (Some(l), Some(r))
+                        if (layout.contains(&l.binding) && r.binding == t.binding)
+                            || (layout.contains(&r.binding) && l.binding == t.binding))
+            });
+
+            // Intermediate steps materialize to a temp table; the final step
+            // streams into the answer rows.
+            let mut sink = if last {
+                JoinSink::Stream { select_idx: &select_idx, rows: &mut rows }
+            } else {
+                let name = self.temp_name("join");
+                let out = StoredTable::create(&self.disk, name, next_layout.to_schema());
+                let w = out.file().bulk_writer();
+                JoinSink::Materialize { out, w }
+            };
+
+            match driver_pos {
+                Some(pos) => {
+                    let p = &evaluable[pos];
+                    let (lc, rc) =
+                        (p.lhs.as_col().expect("driver"), p.rhs.as_col().expect("driver"));
+                    let (cur_col, next_col) =
+                        if layout.contains(&lc.binding) { (lc, rc) } else { (rc, lc) };
+                    let cur_idx = layout.resolve(cur_col)?;
+                    let next_idx = next_col.attr;
+                    let residuals: Vec<BoundCompare> = evaluable
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pos)
+                        .map(|(_, p)| next_layout.bind(p))
+                        .collect::<Result<_>>()?;
+                    let handle = |sink: &mut JoinSink<'_>, r: &Tuple, s: &Tuple| -> Result<()> {
+                        let d_join = r.values[cur_idx].compare(CmpOp::Eq, &s.values[next_idx]);
+                        let mut d = r.degree.and(s.degree).and(d_join);
+                        if !d.is_positive() {
+                            return Ok(());
+                        }
+                        for b in &residuals {
+                            d = d.and(b.eval_pair(&r.values, &s.values));
+                            if !d.is_positive() {
+                                return Ok(());
+                            }
+                        }
+                        sink.emit(r, s, d)
+                    };
+                    match self.config.join_method {
+                        JoinMethod::Merge => {
+                            let sorted_cur = self.sort_table(&current, cur_idx, alpha)?;
+                            let sorted_next = self.sort_table(&filtered[i], next_idx, alpha)?;
+                            self.merge_window(
+                                &sorted_cur,
+                                cur_idx,
+                                &sorted_next,
+                                next_idx,
+                                alpha,
+                                |r, rng, _| {
+                                    for s in rng {
+                                        handle(&mut sink, r, s)?;
+                                    }
+                                    Ok(())
+                                },
+                            )?;
+                        }
+                        JoinMethod::Partitioned => {
+                            let cur = current.clone();
+                            let next = filtered[i].clone();
+                            self.partitioned_join(
+                                &cur,
+                                cur_idx,
+                                &next,
+                                next_idx,
+                                alpha,
+                                |r, s, _| handle(&mut sink, r, s),
+                            )?;
+                        }
+                    }
+                }
+                None => {
+                    // No equality driver: block-nested-loop fallback.
+                    let residuals: Vec<BoundCompare> = evaluable
+                        .iter()
+                        .map(|p| next_layout.bind(p))
+                        .collect::<Result<_>>()?;
+                    let inner = filtered[i].clone();
+                    self.block_nested_loop(
+                        &current,
+                        &inner,
+                        |_| (),
+                        |_, r, s, _| {
+                            let mut d = r.degree.and(s.degree);
+                            if !d.is_positive() {
+                                return Ok(());
+                            }
+                            for b in &residuals {
+                                d = d.and(b.eval_pair(&r.values, &s.values));
+                                if !d.is_positive() {
+                                    return Ok(());
+                                }
+                            }
+                            sink.emit(r, s, d)?;
+                            Ok(())
+                        },
+                        |_, _| Ok(()),
+                    )?;
+                }
+            }
+            if let Some(out) = sink.into_table()? {
+                layout = next_layout;
+                current = out;
+            }
+        }
+        Ok(finish(out_schema, rows, plan.threshold))
+    }
+
+    // -----------------------------------------------------------------------
+    // Anti plans (JX', NX', JALL', ALL')
+    // -----------------------------------------------------------------------
+
+    fn run_anti(&mut self, plan: &AntiPlan) -> Result<Relation> {
+        let outer_f = self.filter_scan(&plan.outer, Degree::ZERO)?;
+        let inner_f = self.filter_scan(&plan.inner, Degree::ZERO)?;
+        let mut pair_layout = Layout::of_table(&plan.outer);
+        pair_layout.push(&plan.inner);
+        let pair = pair_layout.bind_all(&plan.pair_preds)?;
+        let kind_extra: Option<BoundCompare> = match &plan.kind {
+            AntiKind::Exclusion => None,
+            AntiKind::All { op, lhs, rhs } => Some(pair_layout.bind(&PlanCompare {
+                lhs: lhs.clone(),
+                op: *op,
+                rhs: rhs.clone(),
+                tolerance: None,
+            })?),
+        };
+        // The negated contribution of one inner tuple to the MIN(D) group of
+        // one outer tuple: 1 − min(μ_S∧p₂, d(pair preds) [, 1 − d(Y op Z)]).
+        let contribution = |r: &Tuple, s: &Tuple| -> Degree {
+            let mut inner_d = s.degree;
+            for p in &pair {
+                inner_d = inner_d.and(p.eval_pair(&r.values, &s.values));
+                if !inner_d.is_positive() {
+                    return Degree::ONE; // neutral
+                }
+            }
+            if let Some(b) = &kind_extra {
+                inner_d = inner_d.and(b.eval_pair(&r.values, &s.values).not());
+            }
+            inner_d.not()
+        };
+
+        let outer_layout = Layout::of_table(&plan.outer);
+        let (out_schema, select_idx) = outer_layout.projection(&plan.select)?;
+        let mut rows: Vec<(Vec<Value>, Degree)> = Vec::new();
+
+        match &plan.window {
+            Some((ocol, icol)) => {
+                let sorted_o = self.sort_table(&outer_f, ocol.attr, Degree::ZERO)?;
+                let sorted_i = self.sort_table(&inner_f, icol.attr, Degree::ZERO)?;
+                // Inner tuples outside Rng(r) have window-predicate degree 0,
+                // so they contribute the neutral 1: scanning only the window
+                // is exact (this is what makes JX'/JALL' merge-joinable).
+                // No threshold push-down here: low-degree pairs still lower
+                // the MIN(D) group degree.
+                self.merge_window(&sorted_o, ocol.attr, &sorted_i, icol.attr, Degree::ZERO, |r, rng, _| {
+                    let mut acc = r.degree;
+                    for s in rng {
+                        acc = acc.and(contribution(r, s));
+                        if !acc.is_positive() {
+                            break;
+                        }
+                    }
+                    if acc.is_positive() {
+                        rows.push((project(r, &select_idx), acc));
+                    }
+                    Ok(())
+                })?;
+            }
+            None => {
+                // Scan fallback (uncorrelated NOT IN / ALL): the inner set is
+                // built once — the unnesting benefit — then the outer streams
+                // against it.
+                let pool = self.pool(self.config.buffer_pages);
+                let inner_all: Vec<Tuple> =
+                    inner_f.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
+                let opool = self.pool(1);
+                let mut stats = self.stats;
+                for r in outer_f.scan(&opool) {
+                    let r = r?;
+                    let mut acc = r.degree;
+                    for s in &inner_all {
+                        stats.pairs_examined += 1;
+                        acc = acc.and(contribution(&r, s));
+                        if !acc.is_positive() {
+                            break;
+                        }
+                    }
+                    if acc.is_positive() {
+                        rows.push((project(&r, &select_idx), acc));
+                    }
+                }
+                self.stats = stats;
+            }
+        }
+        Ok(finish(out_schema, rows, plan.threshold))
+    }
+
+    // -----------------------------------------------------------------------
+    // Aggregate plans (JA' / COUNT' / type A)
+    // -----------------------------------------------------------------------
+
+    fn run_agg(&mut self, plan: &AggPlan) -> Result<Relation> {
+        let outer_f = self.filter_scan(&plan.outer, Degree::ZERO)?;
+        let inner_f = self.filter_scan(&plan.inner, Degree::ZERO)?;
+        let outer_layout = Layout::of_table(&plan.outer);
+        let (out_schema, select_idx) = outer_layout.projection(&plan.select)?;
+        let (agg, agg_col) = (plan.agg.0, &plan.agg.1);
+        let inner_layout = Layout::of_table(&plan.inner);
+        let agg_idx = inner_layout.resolve(agg_col)?;
+        let lhs_bound = outer_layout.bind(&PlanCompare {
+            lhs: plan.compare.0.clone(),
+            op: plan.compare.1,
+            rhs: PlanOperand::Const(Value::Null), // placeholder; rhs injected per group
+            tolerance: None,
+        })?;
+        let op1 = plan.compare.1;
+        let mut rows: Vec<(Vec<Value>, Degree)> = Vec::new();
+
+        // Applies R.Y op1 A to one outer tuple, honouring the COUNT
+        // outer-join IF-THEN-ELSE for empty groups.
+        let emit_outer = |r: &Tuple,
+                          group: Option<&(Value, Degree)>,
+                          rows: &mut Vec<(Vec<Value>, Degree)>| {
+            let lhs_val = match &lhs_bound.lhs {
+                BoundOperand::Col(i) => r.values[*i].clone(),
+                BoundOperand::Const(v) => v.clone(),
+            };
+            let d = match group {
+                Some((a, da)) => r.degree.and(*da).and(lhs_val.compare(op1, a)),
+                None => {
+                    if agg == AggFunc::Count {
+                        // COUNT': [R.Y op1 T2.A : R.Y op1 0] — the ELSE branch.
+                        r.degree.and(lhs_val.compare(op1, &Value::number(0.0)))
+                    } else {
+                        Degree::ZERO // NULL aggregate satisfies nothing
+                    }
+                }
+            };
+            if d.is_positive() {
+                rows.push((project(r, &select_idx), d));
+            }
+        };
+
+        match &plan.corr {
+            None => {
+                // Type A: the inner block is a constant; compute it once.
+                let pool = self.pool(self.config.buffer_pages);
+                let mut set: GroupSet = GroupSet::default();
+                let mut stats = self.stats;
+                for s in inner_f.scan(&pool) {
+                    let s = s?;
+                    stats.pairs_examined += 1;
+                    set.add(s.values[agg_idx].clone(), s.degree);
+                }
+                self.stats = stats;
+                let group = set.aggregate(agg, plan.agg_degree)?;
+                let opool = self.pool(1);
+                for r in outer_f.scan(&opool) {
+                    let r = r?;
+                    emit_outer(&r, group.as_ref(), &mut rows);
+                }
+            }
+            Some((ucol, op2, vcol)) => {
+                let sorted_o = self.sort_table(&outer_f, ucol.attr, Degree::ZERO)?;
+                if *op2 == CmpOp::Eq {
+                    // Pipelined merge grouping (Section 6): outer sorted on U,
+                    // inner sorted on V; identical U values are adjacent, so
+                    // each distinct u computes T'(u) from its window once.
+                    let sorted_i = self.sort_table(&inner_f, vcol.attr, Degree::ZERO)?;
+                    let mut cache: Option<(Value, Option<(Value, Degree)>)> = None;
+                    let uattr = ucol.attr;
+                    let vattr = vcol.attr;
+                    let agg_degree = plan.agg_degree;
+                    let mut agg_err: Option<EngineError> = None;
+                    let merge_res =
+                        self.merge_window(&sorted_o, uattr, &sorted_i, vattr, Degree::ZERO, |r, rng, _| {
+                            let u = &r.values[uattr];
+                            let hit = matches!(&cache, Some((cu, _)) if cu == u);
+                            if !hit {
+                                let mut set = GroupSet::default();
+                                for s in rng {
+                                    // μ_T'(u)(z) = max min(μ_S∧p₂, d(s.V = u));
+                                    // op2 = Eq here.
+                                    let d =
+                                        s.degree.and(s.values[vattr].compare(CmpOp::Eq, u));
+                                    if d.is_positive() {
+                                        set.add(s.values[agg_idx].clone(), d);
+                                    }
+                                }
+                                match set.aggregate(agg, agg_degree) {
+                                    Ok(g) => cache = Some((u.clone(), g)),
+                                    Err(e) => {
+                                        agg_err = Some(e.clone());
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                            let group = cache.as_ref().expect("just set").1.as_ref();
+                            emit_outer(r, group, &mut rows);
+                            Ok(())
+                        });
+                    if let Some(e) = agg_err {
+                        return Err(e);
+                    }
+                    merge_res?;
+                } else {
+                    // Non-equality op2: T'(u) cannot be window-scanned; build
+                    // the reduced inner set once and scan it per distinct u.
+                    let pool = self.pool(self.config.buffer_pages);
+                    let inner_all: Vec<Tuple> =
+                        inner_f.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
+                    let opool = self.pool(1);
+                    let mut cache: Option<(Value, Option<(Value, Degree)>)> = None;
+                    let mut stats = self.stats;
+                    for r in sorted_o.scan(&opool) {
+                        let r = r?;
+                        let u = &r.values[ucol.attr];
+                        let hit = matches!(&cache, Some((cu, _)) if cu == u);
+                        if !hit {
+                            let mut set = GroupSet::default();
+                            for s in &inner_all {
+                                stats.pairs_examined += 1;
+                                let d =
+                                    s.degree.and(s.values[vcol.attr].compare(*op2, u));
+                                if d.is_positive() {
+                                    set.add(s.values[agg_idx].clone(), d);
+                                }
+                            }
+                            cache = Some((u.clone(), set.aggregate(agg, plan.agg_degree)?));
+                        }
+                        let group = cache.as_ref().expect("just set").1.as_ref();
+                        emit_outer(&r, group, &mut rows);
+                    }
+                    self.stats = stats;
+                }
+            }
+        }
+        Ok(finish(out_schema, rows, plan.threshold))
+    }
+}
+
+/// Where one join step delivers its output: an intermediate temp table, or —
+/// on the final step — the projected answer rows (the paper's pipelined
+/// insertion of `r.X` into the answer during the join).
+enum JoinSink<'a> {
+    Materialize {
+        out: StoredTable,
+        w: fuzzy_storage::file::BulkWriter,
+    },
+    Stream {
+        select_idx: &'a [usize],
+        rows: &'a mut Vec<(Vec<Value>, Degree)>,
+    },
+}
+
+impl JoinSink<'_> {
+    fn emit(&mut self, r: &Tuple, s: &Tuple, d: Degree) -> Result<()> {
+        match self {
+            JoinSink::Materialize { w, .. } => {
+                let mut values = r.values.clone();
+                values.extend_from_slice(&s.values);
+                w.append(&Tuple::new(values, d).encode(0))?;
+                Ok(())
+            }
+            JoinSink::Stream { select_idx, rows } => {
+                let left_len = r.values.len();
+                let values = select_idx
+                    .iter()
+                    .map(|&i| {
+                        if i < left_len {
+                            r.values[i].clone()
+                        } else {
+                            s.values[i - left_len].clone()
+                        }
+                    })
+                    .collect();
+                rows.push((values, d));
+                Ok(())
+            }
+        }
+    }
+
+    fn into_table(self) -> Result<Option<StoredTable>> {
+        match self {
+            JoinSink::Materialize { out, w } => {
+                w.finish()?;
+                Ok(Some(out))
+            }
+            JoinSink::Stream { .. } => Ok(None),
+        }
+    }
+}
+
+/// The fuzzy set `T(r)` an aggregate is applied to: distinct values with
+/// fuzzy-OR (max) degrees.
+#[derive(Default)]
+pub(crate) struct GroupSet {
+    order: Vec<Value>,
+    degrees: HashMap<Value, Degree>,
+}
+
+impl GroupSet {
+    pub(crate) fn add(&mut self, v: Value, d: Degree) {
+        if v.is_null() || !d.is_positive() {
+            return;
+        }
+        match self.degrees.get_mut(&v) {
+            Some(existing) => *existing = existing.or(d),
+            None => {
+                self.degrees.insert(v.clone(), d);
+                self.order.push(v);
+            }
+        }
+    }
+
+    /// Applies the aggregate; `None` means the NULL result of an empty
+    /// non-COUNT group (T2 "contains no tuple for u").
+    pub(crate) fn aggregate(
+        &self,
+        agg: AggFunc,
+        agg_degree: crate::plan::AggDegree,
+    ) -> Result<Option<(Value, Degree)>> {
+        if self.order.is_empty() && agg != AggFunc::Count {
+            return Ok(None);
+        }
+        let refs: Vec<&Value> = self.order.iter().collect();
+        let value = apply_aggregate(agg, &refs)?.expect("non-empty or COUNT");
+        let member_degrees: Vec<Degree> =
+            self.order.iter().map(|v| self.degrees[v]).collect();
+        Ok(Some((value, agg_degree.of_group(&member_degrees))))
+    }
+}
+
+pub(crate) fn project(t: &Tuple, idx: &[usize]) -> Vec<Value> {
+    idx.iter().map(|&i| t.values[i].clone()).collect()
+}
+
+/// Dedups rows by fuzzy OR and applies the final threshold.
+pub(crate) fn finish(
+    schema: Schema,
+    rows: Vec<(Vec<Value>, Degree)>,
+    threshold: Option<Threshold>,
+) -> Relation {
+    let rel = Relation::from_dedup_rows(schema, rows);
+    match threshold {
+        Some(t) => rel.with_threshold(Degree::clamped(t.z), t.strict),
+        None => rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_core::Trapezoid;
+    use fuzzy_rel::AttrType;
+
+    fn table(disk: &SimDisk, name: &str, xs: &[(f64, f64)]) -> PlanTable {
+        // Tuples (ID, X) where X is a rectangle [lo, hi].
+        let t = StoredTable::create(
+            disk,
+            name,
+            Schema::new(vec![
+                Attribute::new("ID", AttrType::Number),
+                Attribute::new("X", AttrType::Number),
+            ]),
+        );
+        t.load(xs.iter().enumerate().map(|(i, (lo, hi))| {
+            Tuple::full(vec![
+                Value::number(i as f64),
+                Value::fuzzy(Trapezoid::rectangular(*lo, *hi).unwrap()),
+            ])
+        }))
+        .unwrap();
+        PlanTable { binding: name.to_string(), table: t, local_preds: Vec::new() }
+    }
+
+    #[test]
+    fn layout_resolution_and_projection() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[]);
+        let s = table(&disk, "S", &[]);
+        let mut layout = Layout::of_table(&r);
+        layout.push(&s);
+        assert_eq!(layout.resolve(&PlanCol { binding: "R".into(), attr: 1 }).unwrap(), 1);
+        assert_eq!(layout.resolve(&PlanCol { binding: "S".into(), attr: 0 }).unwrap(), 2);
+        assert!(layout.resolve(&PlanCol { binding: "T".into(), attr: 0 }).is_err());
+        assert!(layout.contains("R"));
+        assert!(!layout.contains("T"));
+        let schema = layout.to_schema();
+        assert_eq!(schema.len(), 4);
+        assert_eq!(schema.attr(3).name, "S.X");
+        let (proj, idx) = layout
+            .projection(&[PlanCol { binding: "S".into(), attr: 1 }])
+            .unwrap();
+        assert_eq!(proj.attr(0).name, "X");
+        assert_eq!(idx, vec![3]);
+    }
+
+    #[test]
+    fn bound_compare_eval_pair_spans_both_sides() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[]);
+        let s = table(&disk, "S", &[]);
+        let mut layout = Layout::of_table(&r);
+        layout.push(&s);
+        let p = layout
+            .bind(&PlanCompare::new(
+                PlanOperand::Col(PlanCol { binding: "R".into(), attr: 0 }),
+                CmpOp::Lt,
+                PlanOperand::Col(PlanCol { binding: "S".into(), attr: 0 }),
+            ))
+            .unwrap();
+        let left = vec![Value::number(1.0), Value::number(0.0)];
+        let right = vec![Value::number(2.0), Value::number(0.0)];
+        assert_eq!(p.eval_pair(&left, &right), Degree::ONE);
+        let concat: Vec<Value> = left.iter().chain(right.iter()).cloned().collect();
+        assert_eq!(p.eval(&concat), Degree::ONE);
+    }
+
+    #[test]
+    fn merge_window_covers_exactly_rng() {
+        // Outer values: [0,1], [10,11], [20,21]. Inner: [0,2], [9,12],
+        // [15,30], [40,41]. Expected windows: r0 -> {[0,2]};
+        // r1 -> {[9,12]}; r2 -> {[15,30]} ([40,41] never enters).
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0), (20.0, 21.0)]);
+        let s = table(&disk, "S", &[(0.0, 2.0), (9.0, 12.0), (15.0, 30.0), (40.0, 41.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
+        let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
+        let mut windows: Vec<(f64, Vec<f64>)> = Vec::new();
+        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |r, rng, _| {
+            let key = r.values[1].interval().unwrap().0;
+            let ws = rng.iter().map(|s| s.values[1].interval().unwrap().0).collect();
+            windows.push((key, ws));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            windows,
+            vec![
+                (0.0, vec![0.0]),
+                (10.0, vec![9.0]),
+                (20.0, vec![15.0]),
+            ]
+        );
+        assert_eq!(ex.stats.pairs_examined, 3);
+    }
+
+    #[test]
+    fn merge_window_keeps_wide_inner_tuples_across_outers() {
+        // A very wide inner tuple stays in every window it can touch.
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (50.0, 51.0), (99.0, 100.0)]);
+        let s = table(&disk, "S", &[(0.0, 100.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
+        let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
+        let mut count = 0;
+        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |_, rng, _| {
+            count += rng.len();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, 3, "the wide tuple belongs to all three ranges");
+    }
+
+    #[test]
+    fn merge_window_includes_dangling_tuples_across_nested_intervals() {
+        // Section 3's caveat: a tuple retained in the window for a wide
+        // earlier outer interval may not join a later, narrower one — it is
+        // examined (dangling) because the window can only drop tuples that
+        // precede *every* remaining outer range. Outer: [10,100] then
+        // [12,20]; inner: [50,60] joins the first but dangles for the
+        // second (its window-retention check e(s)=60 >= b(r)=12 holds while
+        // the intervals do not intersect).
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(10.0, 100.0), (12.0, 20.0)]);
+        let s = table(&disk, "S", &[(50.0, 60.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
+        let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
+        let mut seen = Vec::new();
+        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |r, rng, _| {
+            for s in rng {
+                seen.push(r.values[1].compare(CmpOp::Eq, &s.values[1]).is_positive());
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![true, false], "join for [10,100], dangling for [12,20]");
+    }
+
+    #[test]
+    fn group_set_dedups_by_identity_with_max_degree() {
+        let mut g = GroupSet::default();
+        g.add(Value::number(5.0), Degree::new(0.3).unwrap());
+        g.add(Value::number(5.0), Degree::new(0.8).unwrap());
+        g.add(Value::number(7.0), Degree::new(0.5).unwrap());
+        g.add(Value::Null, Degree::ONE); // NULLs are ignored
+        g.add(Value::number(9.0), Degree::ZERO); // non-members are ignored
+        let (count, d) = g
+            .aggregate(AggFunc::Count, crate::plan::AggDegree::One)
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, Value::number(2.0));
+        assert_eq!(d, Degree::ONE);
+        let (sum, _) = g
+            .aggregate(AggFunc::Sum, crate::plan::AggDegree::One)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sum, Value::number(12.0));
+        // Mean-membership degree: (0.8 + 0.5) / 2.
+        let (_, dm) = g
+            .aggregate(AggFunc::Sum, crate::plan::AggDegree::MeanMembership)
+            .unwrap()
+            .unwrap();
+        assert!((dm.value() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_set_aggregates() {
+        let g = GroupSet::default();
+        assert!(g
+            .aggregate(AggFunc::Sum, crate::plan::AggDegree::One)
+            .unwrap()
+            .is_none());
+        let (count, _) = g
+            .aggregate(AggFunc::Count, crate::plan::AggDegree::One)
+            .unwrap()
+            .unwrap();
+        assert_eq!(count, Value::number(0.0));
+    }
+
+    #[test]
+    fn filter_scan_passthrough_and_reduction() {
+        let disk = SimDisk::with_default_page_size();
+        let mut r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        // No predicates: the very same file is reused.
+        let same = ex.filter_scan(&r, Degree::ZERO).unwrap();
+        assert_eq!(same.num_pages(), r.table.num_pages());
+        // With a predicate, only survivors are materialized.
+        r.local_preds.push(PlanCompare::new(
+            PlanOperand::Col(PlanCol { binding: "R".into(), attr: 0 }),
+            CmpOp::Ge,
+            PlanOperand::Const(Value::number(1.0)),
+        ));
+        let reduced = ex.filter_scan(&r, Degree::ZERO).unwrap();
+        assert_eq!(reduced.num_tuples(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # fuzzy-engine
+//!
+//! The core contribution of *"Efficient Processing of Nested Fuzzy SQL
+//! Queries in a Fuzzy Database"* (Yang et al., ICDE 1995 / TKDE 2001):
+//! unnesting transformations for nested Fuzzy SQL queries and the extended
+//! fuzzy merge-join that evaluates the unnested forms.
+//!
+//! * [`naive`] — the semantics-faithful nested evaluator (the reference the
+//!   equivalence theorems are checked against);
+//! * [`unnest`] — the transformations of Sections 4–8 (types N, J, JX, JA,
+//!   JALL, K-level chains) producing [`plan::UnnestPlan`]s;
+//! * [`exec`] — the physical operators: interval-order external sort, the
+//!   extended merge-join window over `Rng(r)` (Section 3), anti accumulation
+//!   (JX′/JALL′) and the pipelined aggregate evaluation (JA′/COUNT′);
+//! * [`nested_loop`] — the block nested-loop baseline of Section 9;
+//! * [`engine`] — strategy dispatch plus I/O/CPU measurement.
+//!
+//! ## Example
+//!
+//! ```text
+//! let disk = SimDisk::with_default_page_size();
+//! let catalog = fuzzy_workload::paper::dating_service(&disk)?;
+//! let engine = Engine::new(&catalog, &disk);
+//! let nested = engine.run_sql(QUERY_2, Strategy::NestedLoop)?;
+//! let unnested = engine.run_sql(QUERY_2, Strategy::Unnest)?;
+//! assert_eq!(nested.answer.canonicalized(), unnested.answer.canonicalized());
+//! ```
+//!
+//! (See the `fuzzy-db` facade crate and the repository examples for runnable
+//! end-to-end snippets; this crate avoids a circular dev-dependency on the
+//! workload crate in its doctests.)
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod join_partitioned;
+pub mod naive;
+pub mod nested_loop;
+pub mod optimizer;
+pub mod plan;
+pub mod stats_histogram;
+pub mod unnest;
+
+pub use engine::{Engine, QueryOutcome, Strategy};
+pub use error::{EngineError, Result};
+pub use exec::{ExecConfig, ExecStats, Executor, JoinMethod};
+pub use naive::NaiveEvaluator;
+pub use plan::UnnestPlan;
+pub use stats_histogram::{Histogram, StatsRegistry};
+pub use unnest::build_plan;

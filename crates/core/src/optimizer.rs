@@ -1,0 +1,249 @@
+//! Join-order optimization for flat plans.
+//!
+//! Section 8 of the paper notes that "to evaluate Query Q′_K, an optimal
+//! join order may be determined by using, say, a dynamic programming method,
+//! to minimize the sizes of the intermediate relations". This module
+//! implements that step for the K-way flat plans the unnesting produces: a
+//! greedy left-deep ordering over the equi-join graph (greedy is within a
+//! constant of DP for the chain-shaped graphs unnesting yields, and the
+//! plans here join on at most a handful of relations).
+//!
+//! The ordering minimizes estimated intermediate cardinalities:
+//!
+//! * base cardinality = stored tuple count discounted by a fixed selectivity
+//!   per local predicate (the engine does not keep value histograms; the
+//!   discount only needs to *rank* tables);
+//! * only tables connected to the already-joined set by an equality
+//!   predicate are candidates (otherwise the step degenerates to the
+//!   nested-loop cross product, which the order should avoid whenever the
+//!   join graph allows);
+//! * ties break toward the original FROM order for plan stability.
+//!
+//! Reordering is semantically free: plans reference columns by
+//! `(binding, attribute)`, so select lists and predicates are unaffected.
+
+use crate::plan::{FlatPlan, PlanOperand};
+use crate::stats_histogram::StatsRegistry;
+
+/// Assumed selectivity of one local predicate when no statistics exist
+/// (used for ranking only).
+const LOCAL_PRED_SELECTIVITY: f64 = 0.5;
+
+/// Estimated cardinality of a plan table after its local predicates, using
+/// column histograms when a registry is supplied (the statistics-aware step
+/// a real optimizer would take before Section 8's join ordering).
+fn estimate(t: &crate::plan::PlanTable, stats: Option<&StatsRegistry>) -> f64 {
+    let mut est = t.table.num_tuples() as f64;
+    for p in &t.local_preds {
+        let sel = stats
+            .and_then(|reg| {
+                // Histogram estimates apply to column-vs-constant predicates.
+                let (col, probe) = match (&p.lhs, &p.rhs) {
+                    (PlanOperand::Col(c), PlanOperand::Const(v)) => (c, v),
+                    (PlanOperand::Const(v), PlanOperand::Col(c)) => (c, v),
+                    _ => return None,
+                };
+                let pool =
+                    fuzzy_storage::BufferPool::new(t.table.file().disk(), 2);
+                let h = reg.histogram_for(&t.table, col.attr, &pool).ok()?;
+                // Similarity predicates behave like widened equality.
+                let op = p.op;
+                Some(h.selectivity(op, probe))
+            })
+            .unwrap_or(LOCAL_PRED_SELECTIVITY);
+        est *= sel;
+    }
+    est
+}
+
+/// [`reorder_joins_with`] without statistics (heuristic discounts only).
+pub fn reorder_joins(plan: &mut FlatPlan) -> bool {
+    reorder_joins_with(plan, None)
+}
+
+/// Reorders `plan.tables` into a greedy left-deep order that keeps every
+/// join step connected by an equality predicate where possible, preferring
+/// small (estimated) relations early. Returns true if the order changed.
+pub fn reorder_joins_with(plan: &mut FlatPlan, stats: Option<&StatsRegistry>) -> bool {
+    let n = plan.tables.len();
+    if n <= 2 {
+        // With two tables the merge-join sorts both regardless; keeping the
+        // outer block's relation first preserves the paper's presentation.
+        return false;
+    }
+    let sizes: Vec<f64> = plan.tables.iter().map(|t| estimate(t, stats)).collect();
+
+    // Adjacency by equality predicates.
+    let connected = |bound: &[usize], candidate: usize| -> bool {
+        plan.join_preds.iter().any(|p| {
+            bound.iter().any(|&b| {
+                p.is_equi_between(&plan.tables[b].binding, &plan.tables[candidate].binding)
+            })
+        })
+    };
+
+    // Start from the smallest table.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let first = (0..n)
+        .min_by(|&a, &b| sizes[a].partial_cmp(&sizes[b]).expect("finite").then(a.cmp(&b)))
+        .expect("non-empty");
+    order.push(first);
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+
+    while !remaining.is_empty() {
+        // Prefer connected candidates; among them the smallest.
+        let pick = remaining
+            .iter()
+            .copied()
+            .filter(|&c| connected(&order, c))
+            .min_by(|&a, &b| sizes[a].partial_cmp(&sizes[b]).expect("finite").then(a.cmp(&b)))
+            .or_else(|| {
+                remaining.iter().copied().min_by(|&a, &b| {
+                    sizes[a].partial_cmp(&sizes[b]).expect("finite").then(a.cmp(&b))
+                })
+            })
+            .expect("remaining non-empty");
+        order.push(pick);
+        remaining.retain(|&i| i != pick);
+    }
+
+    if order.iter().copied().eq(0..n) {
+        return false;
+    }
+    let mut tables = std::mem::take(&mut plan.tables);
+    // Drain in the chosen order without cloning stored tables.
+    let mut slots: Vec<Option<crate::plan::PlanTable>> =
+        tables.drain(..).map(Some).collect();
+    plan.tables = order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each index picked once"))
+        .collect();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanCol, PlanCompare, PlanOperand, PlanTable};
+    use fuzzy_core::{CmpOp, Value};
+    use fuzzy_rel::{AttrType, Schema, StoredTable, Tuple};
+    use fuzzy_storage::SimDisk;
+
+    fn plan_table(disk: &SimDisk, name: &str, rows: usize, preds: usize) -> PlanTable {
+        let t = StoredTable::create(disk, name, Schema::of(&[("X", AttrType::Number)]));
+        t.load((0..rows).map(|i| Tuple::full(vec![Value::number(i as f64)])))
+            .unwrap();
+        let local_preds = (0..preds)
+            .map(|_| {
+                PlanCompare::new(
+                    PlanOperand::Col(PlanCol { binding: name.into(), attr: 0 }),
+                    CmpOp::Ge,
+                    PlanOperand::Const(Value::number(0.0)),
+                )
+            })
+            .collect();
+        PlanTable { binding: name.into(), table: t, local_preds }
+    }
+
+    fn equi(a: &str, b: &str) -> PlanCompare {
+        PlanCompare::new(
+            PlanOperand::Col(PlanCol { binding: a.into(), attr: 0 }),
+            CmpOp::Eq,
+            PlanOperand::Col(PlanCol { binding: b.into(), attr: 0 }),
+        )
+    }
+
+    fn bindings(p: &FlatPlan) -> Vec<&str> {
+        p.tables.iter().map(|t| t.binding.as_str()).collect()
+    }
+
+    #[test]
+    fn two_table_plans_are_left_alone() {
+        let disk = SimDisk::with_default_page_size();
+        let mut plan = FlatPlan {
+            tables: vec![plan_table(&disk, "A", 100, 0), plan_table(&disk, "B", 1, 0)],
+            join_preds: vec![equi("A", "B")],
+            select: vec![],
+            threshold: None,
+        };
+        assert!(!reorder_joins(&mut plan));
+        assert_eq!(bindings(&plan), ["A", "B"]);
+    }
+
+    #[test]
+    fn smallest_table_leads() {
+        let disk = SimDisk::with_default_page_size();
+        let mut plan = FlatPlan {
+            tables: vec![
+                plan_table(&disk, "A", 1000, 0),
+                plan_table(&disk, "B", 10, 0),
+                plan_table(&disk, "C", 100, 0),
+            ],
+            join_preds: vec![equi("A", "B"), equi("B", "C"), equi("A", "C")],
+            select: vec![],
+            threshold: None,
+        };
+        assert!(reorder_joins(&mut plan));
+        assert_eq!(bindings(&plan), ["B", "C", "A"]);
+    }
+
+    #[test]
+    fn connectivity_beats_size() {
+        // D is tiny but only connected to A; the chain B–C–A must not be
+        // broken by jumping to D early... since D connects only to A, and we
+        // start from D (smallest), the next connected pick is A.
+        let disk = SimDisk::with_default_page_size();
+        let mut plan = FlatPlan {
+            tables: vec![
+                plan_table(&disk, "A", 500, 0),
+                plan_table(&disk, "B", 50, 0),
+                plan_table(&disk, "C", 200, 0),
+                plan_table(&disk, "D", 5, 0),
+            ],
+            join_preds: vec![equi("A", "D"), equi("A", "C"), equi("B", "C")],
+            select: vec![],
+            threshold: None,
+        };
+        assert!(reorder_joins(&mut plan));
+        let order = bindings(&plan);
+        assert_eq!(order[0], "D");
+        assert_eq!(order[1], "A", "only A connects to D");
+        // Each later step stays connected.
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn local_predicates_discount_size() {
+        let disk = SimDisk::with_default_page_size();
+        // B has 60 rows but two predicates: estimate 15 < A's 20.
+        let mut plan = FlatPlan {
+            tables: vec![
+                plan_table(&disk, "A", 20, 0),
+                plan_table(&disk, "B", 60, 2),
+                plan_table(&disk, "C", 100, 0),
+            ],
+            join_preds: vec![equi("A", "B"), equi("B", "C")],
+            select: vec![],
+            threshold: None,
+        };
+        assert!(reorder_joins(&mut plan));
+        assert_eq!(bindings(&plan)[0], "B");
+    }
+
+    #[test]
+    fn already_optimal_order_reports_unchanged() {
+        let disk = SimDisk::with_default_page_size();
+        let mut plan = FlatPlan {
+            tables: vec![
+                plan_table(&disk, "A", 1, 0),
+                plan_table(&disk, "B", 10, 0),
+                plan_table(&disk, "C", 100, 0),
+            ],
+            join_preds: vec![equi("A", "B"), equi("B", "C")],
+            select: vec![],
+            threshold: None,
+        };
+        assert!(!reorder_joins(&mut plan));
+        assert_eq!(bindings(&plan), ["A", "B", "C"]);
+    }
+}

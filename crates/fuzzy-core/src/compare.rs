@@ -1,0 +1,475 @@
+//! Possibility degrees of fuzzy comparisons: `d(X θ Y)` for θ ∈ {=, ≠, <, ≤, >, ≥}.
+//!
+//! Following Section 2 of the paper, the satisfaction degree of a predicate
+//! `X θ Y` whose operands are possibility distributions `U` and `V` is
+//!
+//! ```text
+//! d(X θ Y) = sup_{x θ y} min(μ_U(x), μ_V(y))
+//! ```
+//!
+//! For binary equality of two trapezoidal distributions this is the height of
+//! the highest intersection point of the two membership functions; if one
+//! operand is crisp it degenerates to a membership lookup. The implementations
+//! below are exact closed forms over trapezoid breakpoints, including all
+//! degenerate cases (crisp points, rectangles, vertical edges) where strict
+//! and non-strict inequalities genuinely differ. They are property-tested
+//! against the brute-force numeric oracle in [`crate::oracle`].
+//!
+//! The paper's single-measure system uses only possibility; we also provide
+//! necessity (`Nec(X θ F) = 1 − Poss(X ¬θ F)`) for completeness, with the
+//! Section 2 caveat that the double-measure system prevents composition of
+//! algebraic operators and is therefore *not* used by the query engine.
+
+use crate::degree::Degree;
+use crate::trapezoid::Trapezoid;
+
+/// Comparison operators of Fuzzy SQL predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The logical negation of the operator, used to compute necessity and to
+    /// unnest `NOT IN` / `ALL` queries (Sections 5 and 7).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with its operands swapped: `X θ Y ⟺ Y θ' X`.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the operator on crisp numbers.
+    pub fn eval_crisp(self, x: f64, y: f64) -> bool {
+        match self {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+
+    /// Evaluates the operator on any `Ord` operands (used for text).
+    pub fn eval_ord<T: Ord>(self, x: &T, y: &T) -> bool {
+        match self {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// `Poss(X θ Y)` for trapezoidal possibility distributions: the satisfaction
+/// degree of the predicate under the paper's single-measure semantics.
+///
+/// ```
+/// use fuzzy_core::{possibility, CmpOp, Trapezoid};
+///
+/// // The paper's Fig. 1: d("about 35" = "medium young") = 0.5.
+/// let medium_young = Trapezoid::new(20.0, 25.0, 30.0, 35.0)?;
+/// let about_35 = Trapezoid::triangular(30.0, 35.0, 40.0)?;
+/// let d = possibility(&about_35, CmpOp::Eq, &medium_young);
+/// assert!((d.value() - 0.5).abs() < 1e-12);
+/// # Ok::<(), fuzzy_core::FuzzyError>(())
+/// ```
+pub fn possibility(x: &Trapezoid, op: CmpOp, y: &Trapezoid) -> Degree {
+    match op {
+        CmpOp::Eq => poss_eq(x, y),
+        CmpOp::Ne => poss_ne(x, y),
+        CmpOp::Le => poss_le(x, y),
+        CmpOp::Lt => poss_lt(x, y),
+        CmpOp::Ge => poss_le(y, x),
+        CmpOp::Gt => poss_lt(y, x),
+    }
+}
+
+/// `Nec(X θ Y) = 1 − Poss(X ¬θ Y)` — provided for completeness only; the
+/// engine does not use necessity (see the Section 2 discussion on why the
+/// double-measure system prevents unnesting).
+pub fn necessity(x: &Trapezoid, op: CmpOp, y: &Trapezoid) -> Degree {
+    possibility(x, op.negated(), y).not()
+}
+
+/// Possibility that `X ≈ Y` within tolerance `tol >= 0`, using the similarity
+/// relation `μ_≈(x, y) = max(0, 1 − |x − y| / tol)`. With `tol == 0` this is
+/// binary equality. Implemented by widening `X` with the fuzzy addition of a
+/// zero-centred triangle of half-width `tol` and intersecting with `Y`.
+pub fn approximately_equal(x: &Trapezoid, y: &Trapezoid, tol: f64) -> Degree {
+    assert!(tol >= 0.0 && tol.is_finite(), "tolerance must be a finite non-negative number");
+    if tol == 0.0 {
+        return poss_eq(x, y);
+    }
+    let (a, b, c, d) = x.breakpoints();
+    let widened = Trapezoid::new(a - tol, b, c, d + tol)
+        .expect("widening preserves breakpoint order");
+    poss_eq(&widened, y)
+}
+
+/// Height of the highest intersection point of the two membership functions:
+/// `sup_x min(μ_X(x), μ_Y(x))`. This is `Poss(X = Y)` for binary equality.
+fn poss_eq(x: &Trapezoid, y: &Trapezoid) -> Degree {
+    if x.cores_intersect(y) {
+        return Degree::ONE;
+    }
+    if !x.supports_intersect(y) {
+        return Degree::ZERO;
+    }
+    // Cores are disjoint; orient so `l` is the left distribution.
+    let (l, r) = if x.core().1 < y.core().0 { (x, y) } else { (y, x) };
+    let (_, _, lc, ld) = l.breakpoints();
+    let (ra, rb, _, _) = r.breakpoints();
+    // The optimum lies in [lc, rb]: μ_l is non-increasing there and μ_r is
+    // non-decreasing, so min(μ_l, μ_r) peaks where the edges cross. Candidate
+    // points: all breakpoints in the window plus the crossing of the two
+    // open linear pieces (l's falling edge, r's rising edge).
+    let h = |t: f64| x.membership(t).value().min(y.membership(t).value());
+    let mut best: f64 = 0.0;
+    for t in [lc, ld, ra, rb] {
+        if t >= lc && t <= rb {
+            best = best.max(h(t));
+        }
+    }
+    if ld > lc && rb > ra {
+        // Falling: (ld - t) / (ld - lc); rising: (t - ra) / (rb - ra).
+        let t = (ld * (rb - ra) + ra * (ld - lc)) / ((rb - ra) + (ld - lc));
+        if t >= lc.max(ra) && t <= ld.min(rb) {
+            best = best.max(h(t));
+        }
+    }
+    Degree::clamped(best)
+}
+
+/// `Poss(X ≠ Y)`: 1 unless both operands are the same crisp point.
+fn poss_ne(x: &Trapezoid, y: &Trapezoid) -> Degree {
+    match (x.as_crisp(), y.as_crisp()) {
+        (Some(v), Some(w)) => Degree::from(v != w),
+        // A non-crisp operand has a continuum of values arbitrarily close to
+        // membership 1, so some pair with x ≠ y approaches min = 1.
+        _ => Degree::ONE,
+    }
+}
+
+/// `sup_{y >= t} μ_Y(y)` — the non-increasing envelope of `μ_Y` from the
+/// right, evaluated at `t` (closed bound).
+fn right_env(y: &Trapezoid, t: f64) -> f64 {
+    let (_, _, c, d) = y.breakpoints();
+    if t <= c {
+        1.0
+    } else if t <= d && d > c {
+        (d - t) / (d - c)
+    } else {
+        0.0
+    }
+}
+
+/// `Poss(X <= Y) = sup_t min(μ_X(t), sup_{y >= t} μ_Y(y))`.
+fn poss_le(x: &Trapezoid, y: &Trapezoid) -> Degree {
+    let (xa, xb, _, _) = x.breakpoints();
+    let (_, _, yc, yd) = y.breakpoints();
+    if xb <= yc {
+        // A core point of X does not exceed the end of Y's core: full
+        // possibility (take x = xb, y = yc).
+        return Degree::ONE;
+    }
+    // X's core starts after Y's core ends: the optimum is where X's rising
+    // edge meets the falling right-envelope of Y. Candidates: breakpoints of
+    // both pieces plus the line crossing.
+    let h = |t: f64| x.membership(t).value().min(right_env(y, t));
+    let mut best: f64 = 0.0;
+    for t in [yc, yd, xa, xb] {
+        best = best.max(h(t));
+    }
+    if xb > xa && yd > yc {
+        // Rising: (t - xa) / (xb - xa); envelope falling: (yd - t) / (yd - yc).
+        let t = (yd * (xb - xa) + xa * (yd - yc)) / ((xb - xa) + (yd - yc));
+        if t >= xa.max(yc) && t <= xb.min(yd) {
+            best = best.max(h(t));
+        }
+    }
+    Degree::clamped(best)
+}
+
+/// `sup_{x < t} μ_X(x)` — supremum of X's membership strictly below `t`.
+fn sup_below(x: &Trapezoid, t: f64) -> f64 {
+    let (a, b, c, d) = x.breakpoints();
+    if b < t {
+        return 1.0;
+    }
+    if t == b && a < b {
+        return 1.0; // approached along the rising edge
+    }
+    if t > a && a < b {
+        return (t - a) / (b - a);
+    }
+    // Covers t <= a, and the vertical-left-edge case a == b >= t. The falling
+    // edge lies right of the core so it never helps below t <= b.
+    let _ = (c, d);
+    0.0
+}
+
+/// `Poss(X < Y)`. For continuous membership functions this coincides with
+/// `Poss(X <= Y)` (the supremum over the open region `x < y` of a continuous
+/// function equals the supremum over its closure); it differs only when `Y`
+/// has a vertical right edge (its core touches the end of its support), where
+/// `sup_{y > t} μ_Y(y)` drops to 0 at `t = e(Y)` instead of staying 1.
+fn poss_lt(x: &Trapezoid, y: &Trapezoid) -> Degree {
+    let (_, _, yc, yd) = y.breakpoints();
+    if yc < yd {
+        return poss_le(x, y);
+    }
+    // Y's right edge is vertical at yd: the strict envelope is 1 on
+    // (-inf, yd) and 0 at and after yd, so the possibility reduces to the
+    // supremum of μ_X strictly below yd.
+    Degree::clamped(sup_below(x, yd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(a: f64, b: f64, c: f64, d: f64) -> Trapezoid {
+        Trapezoid::new(a, b, c, d).unwrap()
+    }
+    fn tri(a: f64, b: f64, c: f64) -> Trapezoid {
+        Trapezoid::triangular(a, b, c).unwrap()
+    }
+    fn pt(v: f64) -> Trapezoid {
+        Trapezoid::crisp(v).unwrap()
+    }
+    fn d(v: f64) -> Degree {
+        Degree::new(v).unwrap()
+    }
+
+    #[test]
+    fn op_negation_and_flip() {
+        assert_eq!(CmpOp::Eq.negated(), CmpOp::Ne);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Le.negated(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn paper_fig1_equalities() {
+        // From Section 2: with F.AGE = 24 crisp and M.AGE = "medium young",
+        // d = μ_medium_young(24) = 0.8; with F.AGE = "about 35", d = 0.5.
+        let medium_young = t(20.0, 25.0, 30.0, 35.0);
+        let about_35 = tri(30.0, 35.0, 40.0);
+        assert!((possibility(&pt(24.0), CmpOp::Eq, &medium_young).value() - 0.8).abs() < 1e-12);
+        assert!((possibility(&about_35, CmpOp::Eq, &medium_young).value() - 0.5).abs() < 1e-12);
+        // Symmetry of equality.
+        assert_eq!(
+            possibility(&about_35, CmpOp::Eq, &medium_young),
+            possibility(&medium_young, CmpOp::Eq, &about_35)
+        );
+    }
+
+    #[test]
+    fn equality_cases() {
+        // Overlapping cores: possibility 1.
+        assert_eq!(possibility(&t(0.0, 2.0, 4.0, 6.0), CmpOp::Eq, &t(3.0, 3.5, 9.0, 9.0)), Degree::ONE);
+        // Disjoint supports: 0.
+        assert_eq!(possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(4.0, 5.0, 6.0, 7.0)), Degree::ZERO);
+        // Touching supports at a single point where both memberships are 0.
+        assert_eq!(possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(3.0, 4.0, 5.0, 6.0)), Degree::ZERO);
+        // Touching where one side is vertical: rectangle [0,3] meets rising edge at 3.
+        assert_eq!(
+            possibility(&Trapezoid::rectangular(0.0, 3.0).unwrap(), CmpOp::Eq, &t(3.0, 4.0, 5.0, 6.0)),
+            Degree::ZERO
+        );
+        // Rectangle edge meets rectangle edge: both memberships 1 at the point.
+        assert_eq!(
+            possibility(
+                &Trapezoid::rectangular(0.0, 3.0).unwrap(),
+                CmpOp::Eq,
+                &Trapezoid::rectangular(3.0, 5.0).unwrap()
+            ),
+            Degree::ONE
+        );
+        // Crisp vs crisp.
+        assert_eq!(possibility(&pt(5.0), CmpOp::Eq, &pt(5.0)), Degree::ONE);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Eq, &pt(5.1)), Degree::ZERO);
+        // Crisp inside a fuzzy support: membership lookup.
+        assert_eq!(possibility(&pt(22.5), CmpOp::Eq, &t(20.0, 25.0, 30.0, 35.0)), d(0.5));
+    }
+
+    #[test]
+    fn symmetric_triangles_cross_at_half() {
+        let x = tri(0.0, 10.0, 20.0);
+        let y = tri(10.0, 20.0, 30.0);
+        assert!((possibility(&x, CmpOp::Eq, &y).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inequality_basic() {
+        let young = t(20.0, 25.0, 30.0, 35.0);
+        let old = t(50.0, 60.0, 70.0, 80.0);
+        assert_eq!(possibility(&young, CmpOp::Le, &old), Degree::ONE);
+        assert_eq!(possibility(&young, CmpOp::Lt, &old), Degree::ONE);
+        assert_eq!(possibility(&old, CmpOp::Le, &young), Degree::ZERO);
+        assert_eq!(possibility(&old, CmpOp::Gt, &young), Degree::ONE);
+        assert_eq!(possibility(&young, CmpOp::Ge, &old), Degree::ZERO);
+        // Overlapping distributions can satisfy both orders partially.
+        let mid = t(30.0, 40.0, 45.0, 55.0);
+        assert_eq!(possibility(&mid, CmpOp::Le, &old), Degree::ONE);
+        let p = possibility(&old, CmpOp::Le, &mid).value();
+        assert!(p > 0.0 && p < 1.0, "partial overlap gives partial degree, got {p}");
+    }
+
+    #[test]
+    fn le_crossing_value() {
+        // X rising on [10, 20], Y's right envelope falling on [12, 16]:
+        // crossing of (t-10)/10 and (16-t)/4 at t = 100/7, degree = 3/7.
+        let x = t(10.0, 20.0, 25.0, 30.0);
+        let y = t(0.0, 5.0, 12.0, 16.0);
+        let expect = 3.0 / 7.0;
+        assert!((possibility(&x, CmpOp::Le, &y).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strict_vs_nonstrict_on_crisp_points() {
+        assert_eq!(possibility(&pt(5.0), CmpOp::Le, &pt(5.0)), Degree::ONE);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Lt, &pt(5.0)), Degree::ZERO);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Ge, &pt(5.0)), Degree::ONE);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Gt, &pt(5.0)), Degree::ZERO);
+        assert_eq!(possibility(&pt(4.0), CmpOp::Lt, &pt(5.0)), Degree::ONE);
+    }
+
+    #[test]
+    fn strict_differs_on_vertical_edges() {
+        // The paper's continuity argument: < equals <= for continuous
+        // memberships, but not when the relevant edge is vertical.
+        // X = rectangle [5, 9], Y = rectangle [0, 5]: X <= Y possible at 5,
+        // X < Y impossible.
+        let xr = Trapezoid::rectangular(5.0, 9.0).unwrap();
+        let yr = Trapezoid::rectangular(0.0, 5.0).unwrap();
+        assert_eq!(possibility(&xr, CmpOp::Le, &yr), Degree::ONE);
+        assert_eq!(possibility(&xr, CmpOp::Lt, &yr), Degree::ZERO);
+        // With a sloped edge on X instead, < recovers the full degree.
+        let xs = t(4.0, 5.0, 9.0, 9.0);
+        assert_eq!(possibility(&xs, CmpOp::Lt, &yr), Degree::ONE);
+        // Crisp value at the top end of a left-triangle's support.
+        let ytri = t(3.0, 5.0, 5.0, 5.0);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Lt, &ytri), Degree::ZERO);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Le, &ytri), Degree::ONE);
+        assert_eq!(possibility(&pt(4.0), CmpOp::Lt, &ytri), Degree::ONE);
+    }
+
+    #[test]
+    fn ne_cases() {
+        assert_eq!(possibility(&pt(5.0), CmpOp::Ne, &pt(5.0)), Degree::ZERO);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Ne, &pt(6.0)), Degree::ONE);
+        assert_eq!(possibility(&pt(5.0), CmpOp::Ne, &tri(4.0, 5.0, 6.0)), Degree::ONE);
+        assert_eq!(possibility(&tri(4.0, 5.0, 6.0), CmpOp::Ne, &tri(4.0, 5.0, 6.0)), Degree::ONE);
+    }
+
+    #[test]
+    fn necessity_relationships() {
+        let x = tri(0.0, 10.0, 20.0);
+        let y = tri(10.0, 20.0, 30.0);
+        // Nec <= Poss for normalized convex distributions (paper, Section 2).
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(
+                necessity(&x, op, &y) <= possibility(&x, op, &y),
+                "necessity exceeded possibility for {op}"
+            );
+        }
+        // Crisp, decidable comparisons: necessity equals possibility.
+        assert_eq!(necessity(&pt(1.0), CmpOp::Lt, &pt(2.0)), Degree::ONE);
+        assert_eq!(necessity(&pt(2.0), CmpOp::Lt, &pt(1.0)), Degree::ZERO);
+    }
+
+    #[test]
+    fn similarity_widens_equality() {
+        let x = pt(10.0);
+        let y = pt(12.0);
+        assert_eq!(approximately_equal(&x, &y, 0.0), Degree::ZERO);
+        assert_eq!(approximately_equal(&x, &y, 1.0), Degree::ZERO);
+        assert!((approximately_equal(&x, &y, 4.0).value() - 0.5).abs() < 1e-12);
+        assert_eq!(approximately_equal(&x, &x, 5.0), Degree::ONE);
+        // Monotone in tolerance.
+        let a = tri(0.0, 5.0, 10.0);
+        let b = tri(8.0, 14.0, 20.0);
+        let mut last = Degree::ZERO;
+        for tol in [0.0, 1.0, 2.0, 4.0, 8.0] {
+            let cur = approximately_equal(&a, &b, tol);
+            assert!(cur >= last);
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn le_reflexivity_and_totality() {
+        // Poss(X <= X) = 1 for any distribution, and
+        // max(Poss(X <= Y), Poss(Y <= X)) = 1 (one order is always possible).
+        let shapes = [
+            pt(3.0),
+            tri(0.0, 5.0, 10.0),
+            t(0.0, 1.0, 2.0, 3.0),
+            Trapezoid::rectangular(2.0, 8.0).unwrap(),
+            t(-5.0, -5.0, 0.0, 4.0),
+        ];
+        for x in &shapes {
+            assert_eq!(possibility(x, CmpOp::Le, x), Degree::ONE);
+            for y in &shapes {
+                let a = possibility(x, CmpOp::Le, y);
+                let b = possibility(y, CmpOp::Le, x);
+                assert_eq!(a.or(b), Degree::ONE, "{x} vs {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Satisfaction / membership degrees in `[0, 1]` with fuzzy-logic connectives.
+//!
+//! The paper measures the satisfaction of every predicate, tuple, and answer by
+//! a single *possibility* degree. Conjunction is `min` (fuzzy AND), disjunction
+//! is `max` (fuzzy OR, used when eliminating duplicate answer tuples), and
+//! negation is `1 - d` (used by the `NOT IN` / `ALL` unnestings of Sections 5
+//! and 7).
+
+use crate::error::{FuzzyError, Result};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A degree in `[0, 1]`. Construction guarantees the invariant, so `Degree`
+/// implements `Eq` and `Ord` (no NaN can be stored).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degree(f64);
+
+impl Degree {
+    /// The degree 0: no membership / complete failure of a predicate.
+    pub const ZERO: Degree = Degree(0.0);
+    /// The degree 1: full membership / complete satisfaction.
+    pub const ONE: Degree = Degree(1.0);
+
+    /// Creates a degree, rejecting values outside `[0, 1]` and NaN.
+    pub fn new(d: f64) -> Result<Degree> {
+        if d.is_nan() || !(0.0..=1.0).contains(&d) {
+            Err(FuzzyError::InvalidDegree(d))
+        } else {
+            Ok(Degree(d))
+        }
+    }
+
+    /// Creates a degree, clamping finite values into `[0, 1]`.
+    ///
+    /// NaN clamps to 0, which is the conservative choice for a satisfaction
+    /// degree (an un-evaluable predicate is unsatisfied).
+    pub fn clamped(d: f64) -> Degree {
+        if d.is_nan() {
+            Degree(0.0)
+        } else {
+            Degree(d.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw value in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Fuzzy AND: `min(self, other)`.
+    #[inline]
+    pub fn and(self, other: Degree) -> Degree {
+        Degree(self.0.min(other.0))
+    }
+
+    /// Fuzzy OR: `max(self, other)`.
+    #[inline]
+    pub fn or(self, other: Degree) -> Degree {
+        Degree(self.0.max(other.0))
+    }
+
+    /// Fuzzy NOT: `1 - self`.
+    #[allow(clippy::should_implement_trait)] // `not` is the fuzzy-logic term; `!d` also works
+    #[inline]
+    pub fn not(self) -> Degree {
+        Degree(1.0 - self.0)
+    }
+
+    /// True iff the degree is strictly positive — the membership criterion of
+    /// the paper (`a tuple r is in relation R iff μ_R(r) > 0`).
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// True iff the degree satisfies a `WITH D > z` (or `>=`) threshold clause.
+    pub fn meets(self, threshold: Degree, strict: bool) -> bool {
+        if strict {
+            self.0 > threshold.0
+        } else {
+            self.0 >= threshold.0
+        }
+    }
+
+    /// Fuzzy AND over an iterator; `ONE` for an empty iterator (empty
+    /// conjunction is completely satisfied).
+    pub fn all<I: IntoIterator<Item = Degree>>(iter: I) -> Degree {
+        iter.into_iter().fold(Degree::ONE, Degree::and)
+    }
+
+    /// Fuzzy OR over an iterator; `ZERO` for an empty iterator (empty
+    /// disjunction is completely unsatisfied — e.g. `r.Y IN ∅`).
+    pub fn any<I: IntoIterator<Item = Degree>>(iter: I) -> Degree {
+        iter.into_iter().fold(Degree::ZERO, Degree::or)
+    }
+
+    /// Rounds to `places` decimal places; handy when asserting against the
+    /// paper's printed tables.
+    pub fn rounded(self, places: u32) -> f64 {
+        let k = 10f64.powi(places as i32);
+        (self.0 * k).round() / k
+    }
+}
+
+impl Eq for Degree {}
+
+impl PartialOrd for Degree {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Degree {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Invariant: values are in [0,1], never NaN.
+        self.0.partial_cmp(&other.0).expect("Degree is never NaN")
+    }
+}
+
+impl fmt::Display for Degree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Degree> for f64 {
+    fn from(d: Degree) -> f64 {
+        d.0
+    }
+}
+
+impl BitAnd for Degree {
+    type Output = Degree;
+    fn bitand(self, rhs: Degree) -> Degree {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for Degree {
+    type Output = Degree;
+    fn bitor(self, rhs: Degree) -> Degree {
+        self.or(rhs)
+    }
+}
+
+impl Not for Degree {
+    type Output = Degree;
+    fn not(self) -> Degree {
+        Degree::not(self)
+    }
+}
+
+/// Converts a boolean predicate outcome to a crisp degree (1 or 0).
+impl From<bool> for Degree {
+    fn from(b: bool) -> Degree {
+        if b {
+            Degree::ONE
+        } else {
+            Degree::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Degree::new(0.0).is_ok());
+        assert!(Degree::new(1.0).is_ok());
+        assert!(Degree::new(0.5).is_ok());
+        assert_eq!(Degree::new(-0.1), Err(FuzzyError::InvalidDegree(-0.1)));
+        assert_eq!(Degree::new(1.1), Err(FuzzyError::InvalidDegree(1.1)));
+        assert!(Degree::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Degree::clamped(-3.0), Degree::ZERO);
+        assert_eq!(Degree::clamped(7.0), Degree::ONE);
+        assert_eq!(Degree::clamped(f64::NAN), Degree::ZERO);
+        assert_eq!(Degree::clamped(0.25).value(), 0.25);
+    }
+
+    #[test]
+    fn connectives() {
+        let a = Degree::new(0.3).unwrap();
+        let b = Degree::new(0.7).unwrap();
+        assert_eq!(a.and(b).value(), 0.3);
+        assert_eq!(a.or(b).value(), 0.7);
+        assert_eq!(a.not().value(), 0.7);
+        assert_eq!((a & b).value(), 0.3);
+        assert_eq!((a | b).value(), 0.7);
+        assert_eq!((!a).value(), 0.7);
+    }
+
+    #[test]
+    fn de_morgan_holds_for_min_max() {
+        let a = Degree::new(0.2).unwrap();
+        let b = Degree::new(0.9).unwrap();
+        assert_eq!(!(a & b), (!a) | (!b));
+        assert_eq!(!(a | b), (!a) & (!b));
+    }
+
+    #[test]
+    fn aggregation_identities() {
+        assert_eq!(Degree::all(std::iter::empty()), Degree::ONE);
+        assert_eq!(Degree::any(std::iter::empty()), Degree::ZERO);
+        let ds = [0.9, 0.4, 0.6].map(|d| Degree::new(d).unwrap());
+        assert_eq!(Degree::all(ds).value(), 0.4);
+        assert_eq!(Degree::any(ds).value(), 0.9);
+    }
+
+    #[test]
+    fn thresholds() {
+        let d = Degree::new(0.5).unwrap();
+        assert!(d.meets(Degree::new(0.5).unwrap(), false));
+        assert!(!d.meets(Degree::new(0.5).unwrap(), true));
+        assert!(d.meets(Degree::new(0.4).unwrap(), true));
+        assert!(d.is_positive());
+        assert!(!Degree::ZERO.is_positive());
+    }
+
+    #[test]
+    fn ordering_and_bool_conversion() {
+        assert!(Degree::ZERO < Degree::ONE);
+        assert_eq!(Degree::from(true), Degree::ONE);
+        assert_eq!(Degree::from(false), Degree::ZERO);
+        let mut v = [Degree::ONE, Degree::ZERO, Degree::new(0.5).unwrap()];
+        v.sort();
+        assert_eq!(v[0], Degree::ZERO);
+        assert_eq!(v[2], Degree::ONE);
+    }
+
+    #[test]
+    fn rounding() {
+        assert_eq!(Degree::new(0.6666666).unwrap().rounded(2), 0.67);
+        assert_eq!(Degree::new(0.125).unwrap().rounded(1), 0.1);
+    }
+}

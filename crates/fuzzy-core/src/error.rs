@@ -1,0 +1,80 @@
+//! Error type for the fuzzy-core crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or combining fuzzy values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyError {
+    /// A membership or satisfaction degree was outside `[0, 1]` or NaN.
+    InvalidDegree(f64),
+    /// Trapezoid breakpoints were not ordered `a <= b <= c <= d`, or not finite.
+    InvalidTrapezoid {
+        /// Left end of the support.
+        a: f64,
+        /// Left end of the core.
+        b: f64,
+        /// Right end of the core.
+        c: f64,
+        /// Right end of the support.
+        d: f64,
+    },
+    /// An arithmetic operation was applied to operands that do not support it
+    /// (e.g. fuzzy arithmetic on text).
+    TypeMismatch {
+        /// The operand type the operation requires.
+        expected: &'static str,
+        /// The operand type actually supplied.
+        found: &'static str,
+    },
+    /// Division of a fuzzy value by zero.
+    DivisionByZero,
+    /// A linguistic term was not found in the vocabulary.
+    UnknownTerm(String),
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidDegree(d) => write!(f, "invalid degree {d}: must be in [0, 1]"),
+            FuzzyError::InvalidTrapezoid { a, b, c, d } => {
+                write!(f, "invalid trapezoid ({a}, {b}, {c}, {d}): breakpoints must be finite and ordered a <= b <= c <= d")
+            }
+            FuzzyError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            FuzzyError::DivisionByZero => write!(f, "division of a fuzzy value by zero"),
+            FuzzyError::UnknownTerm(t) => write!(f, "unknown linguistic term {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+/// Convenience result alias for fuzzy-core operations.
+pub type Result<T> = std::result::Result<T, FuzzyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FuzzyError::InvalidDegree(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = FuzzyError::InvalidTrapezoid { a: 1.0, b: 0.0, c: 2.0, d: 3.0 };
+        assert!(e.to_string().contains("ordered"));
+        let e = FuzzyError::TypeMismatch { expected: "number", found: "text" };
+        assert!(e.to_string().contains("number"));
+        assert!(FuzzyError::DivisionByZero.to_string().contains("zero"));
+        assert!(FuzzyError::UnknownTerm("warm".into()).to_string().contains("warm"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FuzzyError::DivisionByZero, FuzzyError::DivisionByZero);
+        assert_ne!(
+            FuzzyError::InvalidDegree(0.5),
+            FuzzyError::InvalidDegree(0.6)
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Brute-force numeric reference for possibility computations.
+//!
+//! The closed forms in [`crate::compare`] are exact but intricate; this module
+//! provides an independent, slow implementation of
+//! `d(X θ Y) = sup_{x θ y} min(μ_X(x), μ_Y(y))` by evaluating a dense grid of
+//! candidate points. It exists so property-based tests can cross-check the
+//! closed forms; production code should always use [`crate::compare`].
+//!
+//! The grid includes every breakpoint of both operands, points offset by a
+//! small epsilon on both sides of each breakpoint (to observe vertical edges),
+//! and a uniform sample of the support union. Because membership functions are
+//! piecewise linear and min is concave between breakpoints, a dense grid
+//! converges to the true supremum; with the breakpoints themselves included,
+//! the error is bounded by the grid pitch times the maximum slope.
+
+use crate::compare::CmpOp;
+use crate::degree::Degree;
+use crate::trapezoid::Trapezoid;
+
+/// Numerically estimates `Poss(X θ Y)` on a grid of `resolution` points per
+/// operand (plus breakpoints and epsilon-offset points).
+pub fn possibility_grid(x: &Trapezoid, op: CmpOp, y: &Trapezoid, resolution: usize) -> Degree {
+    let xs = sample_points(x, y, resolution);
+    let ys = xs.clone();
+    let mut best: f64 = 0.0;
+    for &xv in &xs {
+        let mx = x.membership(xv).value();
+        if mx <= best {
+            continue;
+        }
+        for &yv in &ys {
+            if op.eval_crisp(xv, yv) {
+                let m = mx.min(y.membership(yv).value());
+                if m > best {
+                    best = m;
+                }
+            }
+        }
+    }
+    Degree::clamped(best)
+}
+
+fn sample_points(x: &Trapezoid, y: &Trapezoid, resolution: usize) -> Vec<f64> {
+    let (xa, xd) = x.support();
+    let (ya, yd) = y.support();
+    let lo = xa.min(ya);
+    let hi = xd.max(yd);
+    let span = (hi - lo).max(1.0);
+    let eps = span * 1e-9;
+    let mut pts = Vec::with_capacity(resolution + 24);
+    let (a1, b1, c1, d1) = x.breakpoints();
+    let (a2, b2, c2, d2) = y.breakpoints();
+    for bp in [a1, b1, c1, d1, a2, b2, c2, d2] {
+        pts.push(bp);
+        pts.push(bp - eps);
+        pts.push(bp + eps);
+    }
+    for i in 0..=resolution {
+        pts.push(lo + span * (i as f64) / (resolution as f64));
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::possibility;
+
+    #[test]
+    fn grid_matches_closed_form_on_known_cases() {
+        let my = Trapezoid::new(20.0, 25.0, 30.0, 35.0).unwrap();
+        let a35 = Trapezoid::triangular(30.0, 35.0, 40.0).unwrap();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let exact = possibility(&my, op, &a35).value();
+            let approx = possibility_grid(&my, op, &a35, 400).value();
+            assert!(
+                (exact - approx).abs() < 1e-2,
+                "op {op}: exact {exact} vs grid {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_sees_vertical_edge_strictness() {
+        let xr = Trapezoid::rectangular(5.0, 9.0).unwrap();
+        let yr = Trapezoid::rectangular(0.0, 5.0).unwrap();
+        // The epsilon-offset points let the grid observe that x < y is only
+        // satisfiable where one membership vanishes.
+        let lt = possibility_grid(&xr, CmpOp::Lt, &yr, 200).value();
+        assert!(lt < 1e-6, "got {lt}");
+        let le = possibility_grid(&xr, CmpOp::Le, &yr, 200).value();
+        assert!((le - 1.0).abs() < 1e-6);
+    }
+}
+
+/// Numerically estimates the similarity degree
+/// `sup min(μ_X(x), μ_≈(x, y), μ_Y(y))` with
+/// `μ_≈(x, y) = max(0, 1 − |x − y| / tol)` on a grid.
+pub fn similarity_grid(x: &Trapezoid, y: &Trapezoid, tol: f64, resolution: usize) -> Degree {
+    let xs = sample_points(x, y, resolution);
+    let mut best: f64 = 0.0;
+    for &xv in &xs {
+        let mx = x.membership(xv).value();
+        if mx <= best {
+            continue;
+        }
+        for &yv in &xs {
+            let sim = if tol > 0.0 { (1.0 - (xv - yv).abs() / tol).max(0.0) } else {
+                if xv == yv { 1.0 } else { 0.0 }
+            };
+            let m = mx.min(sim).min(y.membership(yv).value());
+            if m > best {
+                best = m;
+            }
+        }
+    }
+    Degree::clamped(best)
+}
+
+#[cfg(test)]
+mod similarity_tests {
+    use super::*;
+    use crate::compare::approximately_equal;
+
+    #[test]
+    fn similarity_grid_matches_closed_form() {
+        let cases = [
+            (Trapezoid::crisp(10.0).unwrap(), Trapezoid::crisp(12.0).unwrap(), 4.0),
+            (
+                Trapezoid::triangular(0.0, 5.0, 10.0).unwrap(),
+                Trapezoid::triangular(8.0, 14.0, 20.0).unwrap(),
+                3.0,
+            ),
+            (
+                Trapezoid::rectangular(0.0, 4.0).unwrap(),
+                Trapezoid::rectangular(6.0, 9.0).unwrap(),
+                5.0,
+            ),
+        ];
+        for (x, y, tol) in cases {
+            let exact = approximately_equal(&x, &y, tol).value();
+            let approx = similarity_grid(&x, &y, tol, 500).value();
+            assert!(
+                (exact - approx).abs() < 2e-2,
+                "{x} ~ {y} within {tol}: exact {exact} vs grid {approx}"
+            );
+        }
+    }
+}

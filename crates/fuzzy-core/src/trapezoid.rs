@@ -1,0 +1,318 @@
+//! Trapezoidal possibility distributions.
+//!
+//! The paper restricts ill-known attribute values to possibility distributions
+//! with trapezoidal membership functions (triangular and rectangular shapes
+//! are special cases, and a crisp value is the degenerate single-point case).
+//! A trapezoid is described by four breakpoints `a <= b <= c <= d`:
+//!
+//! ```text
+//!        1 |      ________
+//!          |     /        \
+//!          |    /          \
+//!        0 |___/            \___
+//!              a   b      c  d
+//! ```
+//!
+//! The *support* (0-cut closure) is `[a, d]`; the *core* (1-cut) is `[b, c]`.
+//! Section 3 of the paper associates with every value `v` the interval
+//! `[b(v), e(v)]` in which its membership is greater than 0 — for a trapezoid
+//! this is the support `[a, d]`, and for a crisp value it is `[v, v]`.
+
+use crate::degree::Degree;
+use crate::error::{FuzzyError, Result};
+use std::fmt;
+
+/// A trapezoidal membership function with breakpoints `a <= b <= c <= d`.
+///
+/// All breakpoints are finite. The membership is 0 outside `[a, d]`, 1 on
+/// `[b, c]`, and linear in between. Degenerate edges (`a == b` or `c == d`)
+/// produce rectangular sides; `a == b && c == d` is a rectangle (an interval),
+/// and `a == d` is a crisp point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trapezoid {
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+}
+
+impl Trapezoid {
+    /// Creates a trapezoid, validating finiteness and ordering of breakpoints.
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Result<Trapezoid> {
+        let finite = a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite();
+        if !(finite && a <= b && b <= c && c <= d) {
+            return Err(FuzzyError::InvalidTrapezoid { a, b, c, d });
+        }
+        Ok(Trapezoid { a, b, c, d })
+    }
+
+    /// A triangular distribution peaking at `peak` with support `[left, right]`.
+    pub fn triangular(left: f64, peak: f64, right: f64) -> Result<Trapezoid> {
+        Trapezoid::new(left, peak, peak, right)
+    }
+
+    /// A rectangular distribution: full membership on `[lo, hi]`, 0 outside.
+    pub fn rectangular(lo: f64, hi: f64) -> Result<Trapezoid> {
+        Trapezoid::new(lo, lo, hi, hi)
+    }
+
+    /// The degenerate crisp point `v` (possibility 1 at `v`, 0 elsewhere).
+    pub fn crisp(v: f64) -> Result<Trapezoid> {
+        Trapezoid::new(v, v, v, v)
+    }
+
+    /// A symmetric "about v" triangle with half-width `w > 0`.
+    pub fn about(v: f64, w: f64) -> Result<Trapezoid> {
+        if w <= 0.0 || w.is_nan() {
+            return Err(FuzzyError::InvalidTrapezoid { a: v - w, b: v, c: v, d: v + w });
+        }
+        Trapezoid::triangular(v - w, v, v + w)
+    }
+
+    /// Left end of the support, `b(v)` in the paper's Definition 3.1 notation.
+    #[inline]
+    pub fn support_left(&self) -> f64 {
+        self.a
+    }
+
+    /// Right end of the support, `e(v)` in the paper's notation.
+    #[inline]
+    pub fn support_right(&self) -> f64 {
+        self.d
+    }
+
+    /// The four breakpoints `(a, b, c, d)`.
+    #[inline]
+    pub fn breakpoints(&self) -> (f64, f64, f64, f64) {
+        (self.a, self.b, self.c, self.d)
+    }
+
+    /// The support interval `[a, d]`.
+    pub fn support(&self) -> (f64, f64) {
+        (self.a, self.d)
+    }
+
+    /// The core (1-cut) interval `[b, c]`.
+    pub fn core(&self) -> (f64, f64) {
+        (self.b, self.c)
+    }
+
+    /// True iff this distribution is a single crisp point.
+    #[inline]
+    pub fn is_crisp(&self) -> bool {
+        self.a == self.d
+    }
+
+    /// The crisp value, if this is a crisp point.
+    pub fn as_crisp(&self) -> Option<f64> {
+        self.is_crisp().then_some(self.a)
+    }
+
+    /// The membership degree `μ(x)`.
+    ///
+    /// Degenerate edges are resolved in favour of membership: if `a == b` the
+    /// membership at `a` is 1 (a rectangle's edge belongs to its core).
+    pub fn membership(&self, x: f64) -> Degree {
+        if x < self.a || x > self.d {
+            return Degree::ZERO;
+        }
+        if x >= self.b && x <= self.c {
+            return Degree::ONE;
+        }
+        if x < self.b {
+            // a <= x < b, and a < b since x >= a, x < b rules out a == b only
+            // when x == a == b, already covered by the core branch.
+            Degree::clamped((x - self.a) / (self.b - self.a))
+        } else {
+            // c < x <= d, d > c for the same reason.
+            Degree::clamped((self.d - x) / (self.d - self.c))
+        }
+    }
+
+    /// The α-cut `[a + α(b−a), d − α(d−c)]` for `α ∈ (0, 1]`; for `α = 0`
+    /// returns the support closure.
+    pub fn alpha_cut(&self, alpha: Degree) -> (f64, f64) {
+        let t = alpha.value();
+        (self.a + t * (self.b - self.a), self.d - t * (self.d - self.c))
+    }
+
+    /// Whether the supports of two distributions intersect. Two values can
+    /// join with positive possibility only if their supports intersect —
+    /// the criterion behind `Rng(r)` in Section 3.
+    pub fn supports_intersect(&self, other: &Trapezoid) -> bool {
+        // Closed-interval intersection; touching endpoints intersect as
+        // intervals, though the possibility of equality there may still be 0
+        // (membership 0 at an open edge). `compare` handles the exact degree.
+        self.a <= other.d && other.a <= self.d
+    }
+
+    /// Whether the cores (1-cuts) of the two distributions intersect; if so,
+    /// the possibility of equality is 1.
+    pub fn cores_intersect(&self, other: &Trapezoid) -> bool {
+        self.b <= other.c && other.b <= self.c
+    }
+
+    /// The centre of the 1-cut, `(b + c) / 2` — the defuzzification value the
+    /// paper uses to order fuzzy values for `MIN`/`MAX` aggregates (Section 6).
+    pub fn core_center(&self) -> f64 {
+        (self.b + self.c) / 2.0
+    }
+
+    /// Centroid defuzzification (centre of gravity of the membership area).
+    /// Returns the core centre for crisp/zero-area shapes.
+    pub fn centroid(&self) -> f64 {
+        let (a, b, c, d) = (self.a, self.b, self.c, self.d);
+        // Area under a trapezoidal membership function.
+        let area = (c - b) + 0.5 * (b - a) + 0.5 * (d - c);
+        if area <= 0.0 {
+            return self.core_center();
+        }
+        // First moments: rising ramp on [a,b], plateau on [b,c], falling on [c,d].
+        let m_rise = if b > a { (b - a) * (a + 2.0 * b) / 6.0 } else { 0.0 };
+        let m_core = if c > b { (c * c - b * b) / 2.0 } else { 0.0 };
+        let m_fall = if d > c { (d - c) * (2.0 * c + d) / 6.0 } else { 0.0 };
+        (m_rise + m_core + m_fall) / area
+    }
+
+    /// Width of the support interval.
+    pub fn support_width(&self) -> f64 {
+        self.d - self.a
+    }
+}
+
+impl fmt::Display for Trapezoid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.as_crisp() {
+            write!(f, "{v}")
+        } else if self.b == self.c {
+            write!(f, "tri({}, {}, {})", self.a, self.b, self.d)
+        } else {
+            write!(f, "trap({}, {}, {}, {})", self.a, self.b, self.c, self.d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(a: f64, b: f64, c: f64, d: f64) -> Trapezoid {
+        Trapezoid::new(a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_order_and_finiteness() {
+        assert!(Trapezoid::new(0.0, 1.0, 2.0, 3.0).is_ok());
+        assert!(Trapezoid::new(1.0, 0.0, 2.0, 3.0).is_err());
+        assert!(Trapezoid::new(0.0, 2.0, 1.0, 3.0).is_err());
+        assert!(Trapezoid::new(0.0, 1.0, 3.0, 2.0).is_err());
+        assert!(Trapezoid::new(f64::NAN, 1.0, 2.0, 3.0).is_err());
+        assert!(Trapezoid::new(0.0, 1.0, 2.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn paper_fig1_medium_young_membership() {
+        // "medium young" from Fig. 1: full member between 25 and 30, 24 and 31
+        // with degree 0.8, 23 and 32 with degree 0.6, nothing below 20/above 35.
+        let my = t(20.0, 25.0, 30.0, 35.0);
+        assert_eq!(my.membership(25.0), Degree::ONE);
+        assert_eq!(my.membership(30.0), Degree::ONE);
+        assert_eq!(my.membership(27.5), Degree::ONE);
+        assert!((my.membership(24.0).value() - 0.8).abs() < 1e-12);
+        assert!((my.membership(31.0).value() - 0.8).abs() < 1e-12);
+        assert!((my.membership(23.0).value() - 0.6).abs() < 1e-12);
+        assert!((my.membership(32.0).value() - 0.6).abs() < 1e-12);
+        assert_eq!(my.membership(19.9), Degree::ZERO);
+        assert_eq!(my.membership(35.1), Degree::ZERO);
+        assert_eq!(my.membership(20.0), Degree::ZERO);
+        assert_eq!(my.membership(35.0), Degree::ZERO);
+    }
+
+    #[test]
+    fn crisp_point_membership() {
+        let p = Trapezoid::crisp(28.0).unwrap();
+        assert!(p.is_crisp());
+        assert_eq!(p.as_crisp(), Some(28.0));
+        assert_eq!(p.membership(28.0), Degree::ONE);
+        assert_eq!(p.membership(28.0001), Degree::ZERO);
+        assert_eq!(p.support(), (28.0, 28.0));
+    }
+
+    #[test]
+    fn rectangle_edges_are_full_members() {
+        let r = Trapezoid::rectangular(2.0, 5.0).unwrap();
+        assert_eq!(r.membership(2.0), Degree::ONE);
+        assert_eq!(r.membership(5.0), Degree::ONE);
+        assert_eq!(r.membership(1.999), Degree::ZERO);
+    }
+
+    #[test]
+    fn triangle_and_about() {
+        let tr = Trapezoid::triangular(30.0, 35.0, 40.0).unwrap();
+        assert_eq!(tr.membership(35.0), Degree::ONE);
+        assert!((tr.membership(32.5).value() - 0.5).abs() < 1e-12);
+        let ab = Trapezoid::about(35.0, 5.0).unwrap();
+        assert_eq!(ab, tr);
+        assert!(Trapezoid::about(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn alpha_cuts() {
+        let x = t(0.0, 2.0, 4.0, 8.0);
+        assert_eq!(x.alpha_cut(Degree::ZERO), (0.0, 8.0));
+        assert_eq!(x.alpha_cut(Degree::ONE), (2.0, 4.0));
+        assert_eq!(x.alpha_cut(Degree::new(0.5).unwrap()), (1.0, 6.0));
+    }
+
+    #[test]
+    fn support_and_core_intersection() {
+        let x = t(0.0, 1.0, 2.0, 3.0);
+        let y = t(2.5, 4.0, 5.0, 6.0);
+        assert!(x.supports_intersect(&y));
+        assert!(!x.cores_intersect(&y));
+        let z = t(10.0, 11.0, 12.0, 13.0);
+        assert!(!x.supports_intersect(&z));
+        let w = t(1.5, 1.8, 2.2, 9.0);
+        assert!(x.cores_intersect(&w));
+    }
+
+    #[test]
+    fn defuzzification() {
+        let x = t(0.0, 2.0, 4.0, 6.0);
+        assert_eq!(x.core_center(), 3.0);
+        // Symmetric trapezoid: centroid equals the centre of symmetry.
+        assert!((x.centroid() - 3.0).abs() < 1e-12);
+        let p = Trapezoid::crisp(7.0).unwrap();
+        assert_eq!(p.centroid(), 7.0);
+        // Asymmetric triangle leans toward the long side.
+        let tri = Trapezoid::triangular(0.0, 1.0, 10.0).unwrap();
+        assert!(tri.centroid() > 1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Trapezoid::crisp(3.5).unwrap().to_string(), "3.5");
+        assert_eq!(
+            Trapezoid::triangular(1.0, 2.0, 3.0).unwrap().to_string(),
+            "tri(1, 2, 3)"
+        );
+        assert_eq!(t(1.0, 2.0, 3.0, 4.0).to_string(), "trap(1, 2, 3, 4)");
+    }
+
+    #[test]
+    fn membership_is_monotone_on_edges() {
+        let x = t(0.0, 10.0, 20.0, 30.0);
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let v = x.membership(i as f64).value();
+            assert!(v >= last);
+            last = v;
+        }
+        let mut last = 2.0;
+        for i in 20..=30 {
+            let v = x.membership(i as f64).value();
+            assert!(v <= last);
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Linguistic term vocabularies.
+//!
+//! Fuzzy SQL predicates may mention linguistic terms such as `"medium young"`
+//! or `"about 35"`; a vocabulary maps those terms to trapezoidal possibility
+//! distributions. Terms are case-insensitive.
+//!
+//! [`Vocabulary::paper`] reconstructs the vocabulary of the paper's running
+//! example (Figs. 1 and 2, Example 4.1). The parameters of "medium young" and
+//! "about 35" are fixed exactly by Fig. 1 (membership 0.8 at age 24 and
+//! intersection height 0.5). The remaining terms are not fully legible in the
+//! published figure; we calibrated them so that every satisfaction degree the
+//! paper prints for Example 4.1 is reproduced exactly:
+//!
+//! * `d("about 50" = "middle age") = 0.4` (tuple "about 40K" enters T with 0.4),
+//! * `d("middle age" = "medium young") = 0.7` (Betty's final degree),
+//! * `d("about 60K" = "high") = 0.3` (Ann/101's final degree 0.3),
+//! * `d("medium high" = "high") = 0.7` (Ann/102's final degree 0.7),
+//! * the final answer is {Ann: 0.7, Betty: 0.7}.
+
+use crate::error::{FuzzyError, Result};
+use crate::trapezoid::Trapezoid;
+use std::collections::HashMap;
+
+/// A case-insensitive mapping from linguistic terms to distributions.
+///
+/// ```
+/// use fuzzy_core::{Trapezoid, Vocabulary};
+///
+/// let mut vocab = Vocabulary::new();
+/// vocab.define("warm", Trapezoid::triangular(15.0, 22.0, 30.0)?);
+/// // Hedges derive new terms on the fly.
+/// let very_warm = vocab.resolve("very warm")?;
+/// assert!(very_warm.support_width() < vocab.resolve("warm")?.support_width());
+/// # Ok::<(), fuzzy_core::FuzzyError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    terms: HashMap<String, Trapezoid>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Defines (or redefines) a term.
+    pub fn define(&mut self, name: impl AsRef<str>, shape: Trapezoid) {
+        self.terms.insert(name.as_ref().to_lowercase(), shape);
+    }
+
+    /// Looks a term up, case-insensitively. Exact definitions only; use
+    /// [`Vocabulary::resolve`] for hedge handling.
+    pub fn get(&self, name: &str) -> Option<&Trapezoid> {
+        self.terms.get(&name.to_lowercase())
+    }
+
+    /// Looks a term up, producing an error naming the missing term.
+    ///
+    /// Supports the linguistic hedges `very` and `somewhat` as prefixes of
+    /// defined terms (unless the hedged phrase itself is defined, which takes
+    /// precedence): `very X` *concentrates* X — its edges steepen so partial
+    /// members lose degree — and `somewhat X` *dilates* it. With trapezoidal
+    /// shapes the classic `μ²`/`√μ` operators would leave the family, so the
+    /// standard shape-preserving form is used: `very` halves each edge width
+    /// (keeping the core), `somewhat` doubles it.
+    pub fn resolve(&self, name: &str) -> Result<Trapezoid> {
+        if let Some(t) = self.get(name) {
+            return Ok(*t);
+        }
+        let lower = name.to_lowercase();
+        for (hedge, factor) in [("very ", 0.5f64), ("somewhat ", 2.0)] {
+            if let Some(base) = lower.strip_prefix(hedge) {
+                // Hedges stack: "very very old" applies the transform twice.
+                if let Ok(t) = self.resolve(base) {
+                    let (a, b, c, d) = t.breakpoints();
+                    return Trapezoid::new(
+                        b - (b - a) * factor,
+                        b,
+                        c,
+                        c + (d - c) * factor,
+                    );
+                }
+            }
+        }
+        Err(FuzzyError::UnknownTerm(name.to_string()))
+    }
+
+    /// Number of defined terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff no terms are defined.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(term, shape)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Trapezoid)> {
+        self.terms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The vocabulary of the paper's running examples (see module docs).
+    /// Ages are in years; incomes in thousands of dollars.
+    pub fn paper() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        let t = |a, b, c, d| Trapezoid::new(a, b, c, d).expect("static term");
+        let tri = |a, b, c| Trapezoid::triangular(a, b, c).expect("static term");
+        // AGE terms.
+        v.define("young", t(0.0, 18.0, 25.0, 35.0));
+        v.define("medium young", t(20.0, 25.0, 30.0, 35.0)); // Fig. 1
+        v.define("about 35", tri(30.0, 35.0, 40.0)); // Fig. 1
+        v.define("middle age", t(28.0, 33.0, 41.0, 51.0));
+        v.define("about 50", tri(45.0, 50.0, 55.0));
+        v.define("about 29", tri(26.0, 29.0, 32.0));
+        v.define("old", t(55.0, 65.0, 120.0, 130.0));
+        // INCOME terms (thousands of dollars).
+        v.define("low", t(0.0, 0.0, 15.0, 25.0));
+        v.define("medium low", t(15.0, 20.0, 30.0, 35.0));
+        v.define("about 25K", tri(20.0, 25.0, 30.0));
+        v.define("about 40K", tri(35.0, 40.0, 45.0));
+        v.define("medium high", t(45.0, 55.0, 65.0, 75.0));
+        v.define("about 60K", tri(55.0, 60.0, 65.0));
+        v.define("high", t(60.125, 71.375, 120.0, 130.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{possibility, CmpOp};
+
+    #[test]
+    fn define_and_lookup_case_insensitive() {
+        let mut v = Vocabulary::new();
+        assert!(v.is_empty());
+        v.define("Warm", Trapezoid::triangular(15.0, 22.0, 30.0).unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(v.get("warm").is_some());
+        assert!(v.get("WARM").is_some());
+        assert!(v.get("cold").is_none());
+        assert_eq!(
+            v.resolve("cold"),
+            Err(FuzzyError::UnknownTerm("cold".into()))
+        );
+        // Redefinition replaces.
+        v.define("WARM", Trapezoid::triangular(10.0, 20.0, 30.0).unwrap());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get("warm").unwrap().core_center(), 20.0);
+    }
+
+    #[test]
+    fn paper_vocabulary_matches_fig1() {
+        let v = Vocabulary::paper();
+        let my = v.resolve("medium young").unwrap();
+        let a35 = v.resolve("about 35").unwrap();
+        assert!((my.membership(24.0).value() - 0.8).abs() < 1e-12);
+        assert!((possibility(&a35, CmpOp::Eq, &my).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_vocabulary_example_41_calibration() {
+        // The degrees the paper prints in Example 4.1.
+        let v = Vocabulary::paper();
+        let p = |x: &str, y: &str| {
+            possibility(&v.resolve(x).unwrap(), CmpOp::Eq, &v.resolve(y).unwrap()).value()
+        };
+        assert!((p("about 50", "middle age") - 0.4).abs() < 1e-9, "got {}", p("about 50", "middle age"));
+        assert!((p("middle age", "medium young") - 0.7).abs() < 1e-9);
+        assert!((p("about 60K", "high") - 0.3).abs() < 1e-9, "got {}", p("about 60K", "high"));
+        assert!((p("medium high", "high") - 0.7).abs() < 1e-9);
+        assert_eq!(p("middle age", "middle age"), 1.0);
+        // Exclusions the example depends on.
+        assert_eq!(p("about 50", "medium young"), 0.0);
+        let crisp24 = Trapezoid::crisp(24.0).unwrap();
+        assert_eq!(
+            possibility(&crisp24, CmpOp::Eq, &v.resolve("middle age").unwrap()).value(),
+            0.0
+        );
+        assert_eq!(p("about 60K", "about 40K"), 0.0);
+        assert_eq!(p("medium high", "about 40K"), 0.0);
+        assert_eq!(p("medium high", "medium low"), 0.0);
+        assert_eq!(p("about 60K", "medium low"), 0.0);
+    }
+
+    #[test]
+    fn hedges_concentrate_and_dilate() {
+        let v = Vocabulary::paper();
+        let base = v.resolve("medium young").unwrap(); // (20, 25, 30, 35)
+        let very = v.resolve("very medium young").unwrap();
+        let somewhat = v.resolve("SOMEWHAT medium young").unwrap();
+        assert_eq!(very.breakpoints(), (22.5, 25.0, 30.0, 32.5));
+        assert_eq!(somewhat.breakpoints(), (15.0, 25.0, 30.0, 40.0));
+        // Cores are preserved; membership of partial members moves the
+        // expected way.
+        assert_eq!(very.core(), base.core());
+        assert!(very.membership(23.0) < base.membership(23.0));
+        assert!(somewhat.membership(18.0) > base.membership(18.0));
+        // Hedges stack.
+        let very2 = v.resolve("very very medium young").unwrap();
+        assert_eq!(very2.breakpoints(), (23.75, 25.0, 30.0, 31.25));
+        // Unknown bases still error.
+        assert!(v.resolve("very galactic").is_err());
+        // An explicit definition shadows the hedge.
+        let mut v2 = Vocabulary::new();
+        v2.define("old", Trapezoid::new(55.0, 65.0, 120.0, 130.0).unwrap());
+        v2.define("very old", Trapezoid::new(70.0, 80.0, 120.0, 130.0).unwrap());
+        assert_eq!(v2.resolve("very old").unwrap().breakpoints().0, 70.0);
+    }
+
+    #[test]
+    fn paper_vocabulary_iterates_all_terms() {
+        let v = Vocabulary::paper();
+        assert!(v.len() >= 14);
+        assert!(v.iter().any(|(name, _)| name == "high"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The catalog: named tables plus the linguistic vocabulary.
+
+use crate::table::StoredTable;
+use fuzzy_core::Vocabulary;
+use std::collections::HashMap;
+
+/// The database catalog. Table names are case-insensitive.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, StoredTable>,
+    vocab: Vocabulary,
+}
+
+impl Catalog {
+    /// An empty catalog with an empty vocabulary.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// A catalog using the paper's calibrated vocabulary.
+    pub fn with_paper_vocabulary() -> Catalog {
+        Catalog { tables: HashMap::new(), vocab: Vocabulary::paper() }
+    }
+
+    /// Registers (or replaces) a table under its own name.
+    pub fn register(&mut self, table: StoredTable) {
+        self.tables.insert(table.name().to_lowercase(), table);
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&StoredTable> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// Names of all registered tables (unsorted).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(|t| t.name())
+    }
+
+    /// The vocabulary (shared by all queries).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Mutable access to the vocabulary, for defining terms.
+    pub fn vocabulary_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use fuzzy_core::Trapezoid;
+    use fuzzy_storage::SimDisk;
+
+    #[test]
+    fn register_and_lookup() {
+        let disk = SimDisk::with_default_page_size();
+        let mut c = Catalog::new();
+        let t = StoredTable::create(&disk, "EMP", Schema::of(&[("ID", AttrType::Number)]));
+        c.register(t);
+        assert!(c.table("emp").is_some());
+        assert!(c.table("Emp").is_some());
+        assert!(c.table("dept").is_none());
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["EMP"]);
+    }
+
+    #[test]
+    fn vocabulary_access() {
+        let mut c = Catalog::with_paper_vocabulary();
+        assert!(c.vocabulary().get("medium young").is_some());
+        c.vocabulary_mut()
+            .define("tall", Trapezoid::new(170.0, 180.0, 200.0, 210.0).unwrap());
+        assert!(c.vocabulary().get("TALL").is_some());
+    }
+}

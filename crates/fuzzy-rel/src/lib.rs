@@ -1,0 +1,38 @@
+//! # fuzzy-rel
+//!
+//! The fuzzy relational model: a relation is a *fuzzy set of fuzzy tuples*
+//! (Section 2.2 of the paper). Every tuple carries a membership degree, and
+//! attribute values may be ill-known. This crate provides schemas, tuples
+//! with a compact binary codec, in-memory relations with the fuzzy-OR
+//! duplicate-elimination the answer semantics require, stored tables over the
+//! paged storage substrate, and a catalog binding names and vocabulary.
+//!
+//! ## Example
+//!
+//! ```
+//! use fuzzy_rel::{Schema, AttrType, Relation, Tuple};
+//! use fuzzy_core::{Degree, Value};
+//!
+//! let schema = Schema::of(&[("NAME", AttrType::Text)]);
+//! let mut answer = Relation::empty(schema);
+//! answer.insert_dedup_max(Tuple::new(vec![Value::text("Ann")], Degree::new(0.3)?));
+//! answer.insert_dedup_max(Tuple::new(vec![Value::text("Ann")], Degree::new(0.7)?));
+//! assert_eq!(answer.len(), 1);
+//! assert_eq!(answer.tuples()[0].degree.value(), 0.7); // fuzzy OR keeps the max
+//! # Ok::<(), fuzzy_core::FuzzyError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod manifest;
+pub mod relation;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+
+pub use catalog::Catalog;
+pub use relation::Relation;
+pub use schema::{AttrType, Attribute, Schema};
+pub use table::StoredTable;
+pub use tuple::Tuple;

@@ -1,0 +1,150 @@
+//! Relation schemas.
+//!
+//! A fuzzy relation `R` with schema `A1, …, An` is a subset of
+//! `P(A1) × … × P(An) × D` (Section 2.2): every attribute ranges over the
+//! possibility distributions definable on its domain, and `D` is the
+//! system-supplied membership-degree attribute. The schema records attribute
+//! names and domains; the degree attribute is implicit and carried by every
+//! tuple.
+
+use std::fmt;
+
+/// Domain of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Crisp character strings (names, identifiers).
+    Text,
+    /// Numbers, which may be crisp or ill-known (possibility distributions).
+    Number,
+}
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The attribute name (matched case-insensitively).
+    pub name: String,
+    /// The attribute domain.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A relation schema: named attributes plus an optional designated key.
+///
+/// The key is required by the unnesting of `NOT IN` and `ALL` queries
+/// (Sections 5 and 7), whose flat forms group by `R.K` where `R.K` is a key
+/// of `R`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    key: Option<usize>,
+}
+
+impl Schema {
+    /// Creates a schema from attributes; no key designated.
+    pub fn new(attrs: Vec<Attribute>) -> Schema {
+        Schema { attrs, key: None }
+    }
+
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn of(attrs: &[(&str, AttrType)]) -> Schema {
+        Schema::new(attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+    }
+
+    /// Designates attribute `name` as the key. Panics if absent — schemas are
+    /// built by the application, so a missing key is a programming error.
+    pub fn with_key(mut self, name: &str) -> Schema {
+        let idx = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("key attribute {name:?} not in schema"));
+        self.key = Some(idx);
+        self
+    }
+
+    /// Attribute count (excluding the implicit degree attribute).
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at `idx`.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Case-insensitive lookup of an attribute position.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The designated key attribute index, if any.
+    pub fn key(&self) -> Option<usize> {
+        self.key
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {:?}", a.name, a.ty)?;
+            if self.key == Some(i) {
+                write!(f, " KEY")?;
+            }
+        }
+        write!(f, ", D)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::of(&[("NAME", AttrType::Text), ("AGE", AttrType::Number)]);
+        assert_eq!(s.index_of("name"), Some(0));
+        assert_eq!(s.index_of("Age"), Some(1));
+        assert_eq!(s.index_of("income"), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn key_designation() {
+        let s = Schema::of(&[("ID", AttrType::Number), ("NAME", AttrType::Text)]).with_key("id");
+        assert_eq!(s.key(), Some(0));
+        assert_eq!(s.attr(0).name, "ID");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn missing_key_panics() {
+        let _ = Schema::of(&[("A", AttrType::Number)]).with_key("B");
+    }
+
+    #[test]
+    fn display_marks_key_and_degree() {
+        let s = Schema::of(&[("ID", AttrType::Number)]).with_key("ID");
+        let d = s.to_string();
+        assert!(d.contains("KEY"));
+        assert!(d.ends_with("D)"));
+    }
+}

@@ -1,0 +1,375 @@
+//! The abstract syntax of Fuzzy SQL queries.
+//!
+//! Fuzzy SQL (as defined in the Omron Fuzzy LUNA manuals, \[25\], \[23\] of the
+//! paper) extends the SELECT statement of SQL with graded predicates, a
+//! `WITH D > z` membership-threshold clause, and linguistic terms as
+//! literals. The WHERE clause is a conjunction of predicates `X θ Y` where
+//! `X` is an attribute and `Y` an attribute or value, plus nested-query
+//! predicates: `[NOT] IN`, quantified comparisons (`θ ALL`, `θ SOME`),
+//! comparisons against aggregate sub-queries, and `EXISTS`.
+
+use fuzzy_core::CmpOp;
+use std::fmt;
+
+/// A (possibly nested) SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`? (Answers are always duplicate-eliminated by the
+    /// fuzzy-OR semantics; `DISTINCT` is accepted for SQL compatibility.)
+    pub distinct: bool,
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// FROM clause: relations with optional aliases.
+    pub from: Vec<TableRef>,
+    /// WHERE clause as a conjunction of predicates (possibly empty).
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns (used by the unnested JX/JA/JALL forms).
+    pub group_by: Vec<ColumnRef>,
+    /// HAVING conjunction over group aggregates.
+    pub having: Vec<HavingPredicate>,
+    /// `WITH D > z` (strict) or `WITH D >= z`. `None` means `WITH D > 0`.
+    pub with_threshold: Option<Threshold>,
+    /// `ORDER BY` specification applied to the final answer.
+    pub order_by: Option<OrderBy>,
+    /// `LIMIT n` applied after ordering: the top-k answers.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A minimal query skeleton: `SELECT <items> FROM <tables>`.
+    pub fn new(select: Vec<SelectItem>, from: Vec<TableRef>) -> Query {
+        Query {
+            distinct: false,
+            select,
+            from,
+            predicates: Vec::new(),
+            group_by: Vec::new(),
+            having: Vec::new(),
+            with_threshold: None,
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// All sub-queries appearing directly in this query's predicates.
+    pub fn direct_subqueries(&self) -> Vec<&Query> {
+        self.predicates
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::In { query, .. }
+                | Predicate::Quantified { query, .. }
+                | Predicate::AggSubquery { query, .. }
+                | Predicate::Exists { query, .. } => Some(query.as_ref()),
+                Predicate::Compare { .. } | Predicate::Similar { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Nesting depth: 1 for a flat query.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .direct_subqueries()
+            .iter()
+            .map(|q| q.depth())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The membership-degree threshold of a `WITH` clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// The bound `z ∈ [0, 1]`.
+    pub z: f64,
+    /// True for `D > z`, false for `D >= z`.
+    pub strict: bool,
+}
+
+/// An item in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column.
+    Column(ColumnRef),
+    /// An aggregate over a column, e.g. `MAX(S.INCOME)`.
+    Aggregate(AggFunc, ColumnRef),
+    /// `MIN(D)` — the aggregate over the membership degree used by the
+    /// unnested JX/JALL forms of Sections 5 and 7.
+    MinDegree,
+    /// `COUNT(*)`.
+    CountStar,
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// The relation name.
+    pub table: String,
+    /// Optional alias; predicates reference the alias if present.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A table without alias.
+    pub fn named(table: impl Into<String>) -> TableRef {
+        TableRef { table: table.into(), alias: None }
+    }
+
+    /// The name predicates use to reference this table.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A column reference, optionally qualified: `R.X` or `X`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// The qualifying table or alias, if written.
+    pub table: Option<String>,
+    /// The attribute name, or `"D"` for the membership degree attribute.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column.
+    pub fn new(column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// A qualified column.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+
+    /// True iff this references the membership-degree attribute `D`.
+    pub fn is_degree(&self) -> bool {
+        self.column.eq_ignore_ascii_case("D")
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// An operand of a simple predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A column.
+    Column(ColumnRef),
+    /// A crisp numeric literal.
+    Number(f64),
+    /// A quoted literal: a linguistic term over a numeric attribute, or a
+    /// plain string over a text attribute (resolved at bind time).
+    Term(String),
+    /// An inline fuzzy literal — `TRAP(a, b, c, d)`, `TRI(a, b, c)`, or
+    /// `ABOUT(v, w)` — stored as trapezoid breakpoints.
+    FuzzyLiteral(f64, f64, f64, f64),
+}
+
+/// Aggregate functions (Section 6 semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of values in the fuzzy set.
+    Count,
+    /// Fuzzy addition.
+    Sum,
+    /// Fuzzy addition and division.
+    Avg,
+    /// Defuzzified minimum (centre of the 1-cut).
+    Min,
+    /// Defuzzified maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Quantifiers of comparisons against sub-queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `θ ALL (…)`: the comparison must hold against every member.
+    All,
+    /// `θ SOME (…)` / `θ ANY (…)`: against at least one member.
+    Some,
+}
+
+/// The ordering of the final answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// What to order on: the membership degree `D`, or a value column
+    /// (ordered by the interval order `⪯` of Definition 3.1).
+    pub key: OrderKey,
+    /// Descending order (`DESC`)?
+    pub descending: bool,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// The membership degree attribute `D` — possibilistic top-k answers.
+    Degree,
+    /// A select-list column, ordered by `⪯`.
+    Column(ColumnRef),
+}
+
+/// A HAVING predicate: an aggregate (or group column) compared with an
+/// operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingPredicate {
+    /// The left side: an aggregate over the group or a group key column.
+    pub lhs: HavingOperand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// The right side.
+    pub rhs: HavingOperand,
+}
+
+/// An operand in a HAVING comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HavingOperand {
+    /// An aggregate call, e.g. `COUNT(S.Z)`.
+    Aggregate(AggFunc, ColumnRef),
+    /// `COUNT(*)`.
+    CountStar,
+    /// A group key column.
+    Column(ColumnRef),
+    /// A numeric literal.
+    Number(f64),
+    /// A quoted term (vocabulary term over numbers, plain text otherwise).
+    Term(String),
+}
+
+/// A predicate in a WHERE conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `X θ Y` with attribute/value operands.
+    Compare {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `X ~ Y WITHIN t`: a similarity comparison under the relation
+    /// `μ_≈(x, y) = max(0, 1 − |x − y| / t)` — the non-binary θ the paper's
+    /// Section 2 permits ("the comparison θ may be nonbinary, i.e., defined
+    /// by similarity relations").
+    Similar {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// The tolerance `t > 0`.
+        tolerance: f64,
+    },
+    /// `X [IS] [NOT] IN (subquery)`.
+    In {
+        /// Left operand.
+        lhs: Operand,
+        /// True for `NOT IN` (the set-exclusion operator of Section 5).
+        negated: bool,
+        /// The sub-query (must select a single column).
+        query: Box<Query>,
+    },
+    /// `X θ ALL (…)` or `X θ SOME (…)` (Section 7).
+    Quantified {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The quantifier.
+        quantifier: Quantifier,
+        /// The sub-query.
+        query: Box<Query>,
+    },
+    /// `X θ (SELECT AGG(…) …)` (Section 6).
+    AggSubquery {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The sub-query (must select a single aggregate).
+        query: Box<Query>,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// True for `NOT EXISTS`.
+        negated: bool,
+        /// The sub-query.
+        query: Box<Query>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_counts_nesting() {
+        let inner = Query::new(
+            vec![SelectItem::Column(ColumnRef::qualified("S", "Z"))],
+            vec![TableRef::named("S")],
+        );
+        let mut outer = Query::new(
+            vec![SelectItem::Column(ColumnRef::qualified("R", "X"))],
+            vec![TableRef::named("R")],
+        );
+        assert_eq!(outer.depth(), 1);
+        outer.predicates.push(Predicate::In {
+            lhs: Operand::Column(ColumnRef::qualified("R", "Y")),
+            negated: false,
+            query: Box::new(inner),
+        });
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(outer.direct_subqueries().len(), 1);
+    }
+
+    #[test]
+    fn binding_names_respect_aliases() {
+        let t = TableRef { table: "EMP_SALES".into(), alias: Some("R".into()) };
+        assert_eq!(t.binding_name(), "R");
+        assert_eq!(TableRef::named("F").binding_name(), "F");
+    }
+
+    #[test]
+    fn degree_column_detection() {
+        assert!(ColumnRef::new("D").is_degree());
+        assert!(ColumnRef::qualified("R", "d").is_degree());
+        assert!(!ColumnRef::new("DEPT").is_degree());
+    }
+
+    #[test]
+    fn agg_parsing() {
+        assert_eq!(AggFunc::from_name("max"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::from_name("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+        assert_eq!(AggFunc::Sum.name(), "SUM");
+    }
+}

@@ -1,0 +1,347 @@
+//! Classification of nested Fuzzy SQL queries into the paper's types.
+//!
+//! Kim's taxonomy \[18\], extended by the paper to fuzzy queries:
+//!
+//! * **type N** — the inner block of an `IN` predicate references only its
+//!   own relation (Section 4);
+//! * **type J** — the inner block has a join (correlation) predicate
+//!   referencing the outer relation (Section 4);
+//! * **type NX / JX** — the same with the set-exclusion operator `NOT IN`
+//!   (Section 5);
+//! * **type A / JA** — the inner block computes an aggregate compared with
+//!   `op₁` (Section 6); with no correlation the inner block is a constant
+//!   and "no unnesting is needed";
+//! * **type ALL / JALL** — a quantified comparison (Section 7; `SOME`
+//!   unnests like `IN`);
+//! * **chain (linear) queries** — `K ≥ 2` blocks, each block nesting one
+//!   `IN` sub-query and referencing outer blocks only through correlation
+//!   predicates (Section 8).
+
+use crate::ast::{Predicate, Query};
+use std::collections::HashSet;
+
+/// The nesting type of a query, following the paper's sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// No sub-queries.
+    Flat,
+    /// Uncorrelated `IN` (Section 4, Query N).
+    TypeN,
+    /// Correlated `IN` (Section 4, Query J).
+    TypeJ,
+    /// Uncorrelated `NOT IN` (Section 5, simpler variant).
+    TypeNX,
+    /// Correlated `NOT IN` (Section 5, Query JX).
+    TypeJX,
+    /// Uncorrelated aggregate sub-query (Section 6: constant inner block).
+    TypeA,
+    /// Correlated aggregate sub-query (Section 6, Query JA).
+    TypeJA,
+    /// Uncorrelated quantified comparison (Section 7 variant).
+    TypeAll,
+    /// Correlated quantified comparison (Section 7, Query JALL).
+    TypeJAll,
+    /// Correlated `SOME`/`ANY` — unnests like type J.
+    TypeJSome,
+    /// `EXISTS` — unnests to a semi-join-style flat plan (the paper notes
+    /// EXISTS "can be unnested similarly" to Section 7's quantifiers).
+    TypeExists,
+    /// `NOT EXISTS` — unnests to the grouped-MIN anti form of Section 5.
+    TypeNotExists,
+    /// A K-level chain (linear) query, K ≥ 3 (Section 8). Depth-2 chains are
+    /// `TypeN`/`TypeJ`.
+    Chain(usize),
+    /// `EXISTS`, multiple sub-queries per block, or other shapes outside the
+    /// paper's unnesting catalogue; evaluated by the naive method.
+    General,
+}
+
+/// Classifies a parsed query.
+pub fn classify(q: &Query) -> QueryClass {
+    let subs: Vec<&Predicate> = q
+        .predicates
+        .iter()
+        .filter(|p| !matches!(p, Predicate::Compare { .. } | Predicate::Similar { .. }))
+        .collect();
+    match subs.len() {
+        0 => QueryClass::Flat,
+        1 => classify_single(q, subs[0]),
+        _ => QueryClass::General,
+    }
+}
+
+fn classify_single(outer: &Query, sub: &Predicate) -> QueryClass {
+    match sub {
+        Predicate::In { negated, query, .. } => {
+            if query.depth() == 1 {
+                let corr = is_correlated(query, outer);
+                match (negated, corr) {
+                    (false, false) => QueryClass::TypeN,
+                    (false, true) => QueryClass::TypeJ,
+                    (true, false) => QueryClass::TypeNX,
+                    (true, true) => QueryClass::TypeJX,
+                }
+            } else if *negated {
+                QueryClass::General
+            } else if let Some(k) = chain_depth(outer) {
+                QueryClass::Chain(k)
+            } else {
+                QueryClass::General
+            }
+        }
+        Predicate::AggSubquery { query, .. } => {
+            if query.depth() != 1 {
+                return QueryClass::General;
+            }
+            if is_correlated(query, outer) {
+                QueryClass::TypeJA
+            } else {
+                QueryClass::TypeA
+            }
+        }
+        Predicate::Quantified { quantifier, query, .. } => {
+            if query.depth() != 1 {
+                return QueryClass::General;
+            }
+            match quantifier {
+                crate::ast::Quantifier::All => {
+                    if is_correlated(query, outer) {
+                        QueryClass::TypeJAll
+                    } else {
+                        QueryClass::TypeAll
+                    }
+                }
+                crate::ast::Quantifier::Some => QueryClass::TypeJSome,
+            }
+        }
+        Predicate::Exists { negated, query } => {
+            if query.depth() != 1 {
+                return QueryClass::General;
+            }
+            if *negated {
+                QueryClass::TypeNotExists
+            } else {
+                QueryClass::TypeExists
+            }
+        }
+        Predicate::Compare { .. } | Predicate::Similar { .. } => {
+            unreachable!("filtered by caller")
+        }
+    }
+}
+
+/// True iff `inner` references a table binding that is not in its own FROM
+/// clause (a correlation predicate). Only qualified column references count;
+/// unqualified names resolve to the innermost enclosing block.
+pub fn is_correlated(inner: &Query, _outer: &Query) -> bool {
+    let own: HashSet<&str> = inner.from.iter().map(|t| t.binding_name()).collect();
+    predicate_columns(inner).iter().any(|t| !own.contains(t.as_str()))
+}
+
+/// The qualifiers of all column references in the query's own predicates
+/// (not descending into sub-queries).
+fn predicate_columns(q: &Query) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in &q.predicates {
+        let operands: Vec<&crate::ast::Operand> = match p {
+            Predicate::Compare { lhs, rhs, .. } | Predicate::Similar { lhs, rhs, .. } => {
+                vec![lhs, rhs]
+            }
+            Predicate::In { lhs, .. }
+            | Predicate::Quantified { lhs, .. }
+            | Predicate::AggSubquery { lhs, .. } => vec![lhs],
+            Predicate::Exists { .. } => vec![],
+        };
+        for o in operands {
+            if let crate::ast::Operand::Column(c) = o {
+                if let Some(t) = &c.table {
+                    out.push(t.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If the query is a chain (linear) query per Section 8, its block count.
+///
+/// A chain query's every block has exactly one sub-query predicate, of kind
+/// non-negated `IN`; the innermost block has none. Correlation predicates may
+/// reference any enclosing block. No aggregates, quantifiers, exclusions, or
+/// `EXISTS` anywhere.
+pub fn chain_depth(q: &Query) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut block = q;
+    loop {
+        let mut sub: Option<&Query> = None;
+        for p in &block.predicates {
+            match p {
+                Predicate::Compare { .. } | Predicate::Similar { .. } => {}
+                Predicate::In { negated: false, query, .. } => {
+                    if sub.is_some() {
+                        return None; // more than one sub-query in a block
+                    }
+                    sub = Some(query);
+                }
+                _ => return None,
+            }
+        }
+        match sub {
+            None => return Some(depth),
+            Some(next) => {
+                depth += 1;
+                block = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn class_of(sql: &str) -> QueryClass {
+        classify(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn flat_queries() {
+        assert_eq!(
+            class_of("SELECT F.NAME FROM F WHERE F.AGE = 'young'"),
+            QueryClass::Flat
+        );
+        assert_eq!(class_of("SELECT F.NAME FROM F, M WHERE F.AGE = M.AGE"), QueryClass::Flat);
+    }
+
+    #[test]
+    fn type_n_vs_type_j() {
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S)"),
+            QueryClass::TypeN
+        );
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)"),
+            QueryClass::TypeJ
+        );
+        // Paper Query 2 is type N.
+        assert_eq!(
+            class_of(
+                "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN \
+                 (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')"
+            ),
+            QueryClass::TypeN
+        );
+    }
+
+    #[test]
+    fn exclusion_types() {
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y NOT IN (SELECT S.Z FROM S)"),
+            QueryClass::TypeNX
+        );
+        // Paper Query 4 is type JX.
+        assert_eq!(
+            class_of(
+                "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME IS NOT IN \
+                 (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)"
+            ),
+            QueryClass::TypeJX
+        );
+    }
+
+    #[test]
+    fn aggregate_types() {
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y > (SELECT AVG(S.Z) FROM S)"),
+            QueryClass::TypeA
+        );
+        // Paper Query 5 is type JA.
+        assert_eq!(
+            class_of(
+                "SELECT R.NAME FROM CITIES_REGION_A R WHERE R.AVE_HOME_INCOME > \
+                 (SELECT MAX(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
+                  WHERE S.POPULATION = R.POPULATION)"
+            ),
+            QueryClass::TypeJA
+        );
+    }
+
+    #[test]
+    fn quantified_types() {
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Z FROM S WHERE S.V = R.U)"),
+            QueryClass::TypeJAll
+        );
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Z FROM S)"),
+            QueryClass::TypeAll
+        );
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE R.Y = SOME (SELECT S.Z FROM S WHERE S.V = R.U)"),
+            QueryClass::TypeJSome
+        );
+    }
+
+    #[test]
+    fn chains() {
+        // Paper Query 6: a 3-block chain.
+        let q6 = "SELECT R1.X1 FROM R1 WHERE R1.Y1 IN \
+                  (SELECT R2.X2 FROM R2 WHERE R2.U2 = R1.U1 AND R2.X2 IN \
+                   (SELECT R3.X3 FROM R3 WHERE R3.V3 = R2.V2 AND R3.W3 = R1.W1))";
+        assert_eq!(class_of(q6), QueryClass::Chain(3));
+        // A 4-level chain.
+        let q = "SELECT A.X FROM A WHERE A.Y IN (SELECT B.X FROM B WHERE B.Y IN \
+                 (SELECT C.X FROM C WHERE C.Y IN (SELECT D.X FROM D)))";
+        assert_eq!(class_of(q), QueryClass::Chain(4));
+    }
+
+    #[test]
+    fn general_shapes() {
+        // NOT IN below the top level breaks the chain property.
+        assert_eq!(
+            class_of(
+                "SELECT A.X FROM A WHERE A.Y IN (SELECT B.X FROM B WHERE B.Y NOT IN \
+                 (SELECT C.X FROM C))"
+            ),
+            QueryClass::General
+        );
+        // EXISTS now classifies into its own unnestable types.
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S WHERE S.V = R.U)"),
+            QueryClass::TypeExists
+        );
+        assert_eq!(
+            class_of("SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)"),
+            QueryClass::TypeNotExists
+        );
+        // Two sub-queries in one block.
+        assert_eq!(
+            class_of(
+                "SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S) AND R.U IN \
+                 (SELECT T.W FROM T)"
+            ),
+            QueryClass::General
+        );
+    }
+
+    #[test]
+    fn correlation_respects_aliases() {
+        // Inner references outer's alias: correlated.
+        assert_eq!(
+            class_of(
+                "SELECT R.X FROM BIG_TABLE R WHERE R.Y IN \
+                 (SELECT S.Z FROM OTHER S WHERE S.V = R.U)"
+            ),
+            QueryClass::TypeJ
+        );
+        // Inner's own alias shadows nothing: uncorrelated.
+        assert_eq!(
+            class_of(
+                "SELECT R.X FROM BIG_TABLE R WHERE R.Y IN \
+                 (SELECT S.Z FROM OTHER S WHERE S.V = S.U)"
+            ),
+            QueryClass::TypeN
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! SQL rendering of the AST (round-trips through the parser).
+
+use crate::ast::{
+    HavingOperand, HavingPredicate, Operand, OrderKey, Predicate, Quantifier, Query, SelectItem,
+    Threshold,
+};
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if !self.having.is_empty() {
+            write!(f, " HAVING ")?;
+            for (i, h) in self.having.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{h}")?;
+            }
+        }
+        if let Some(Threshold { z, strict }) = self.with_threshold {
+            write!(f, " WITH D {} {z}", if strict { ">" } else { ">=" })?;
+        }
+        if let Some(o) = &self.order_by {
+            match &o.key {
+                OrderKey::Degree => write!(f, " ORDER BY D")?,
+                OrderKey::Column(c) => write!(f, " ORDER BY {c}")?,
+            }
+            if o.descending {
+                write!(f, " DESC")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for HavingPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+impl fmt::Display for HavingOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HavingOperand::Aggregate(a, c) => write!(f, "{}({c})", a.name()),
+            HavingOperand::CountStar => write!(f, "COUNT(*)"),
+            HavingOperand::Column(c) => write!(f, "{c}"),
+            HavingOperand::Number(n) => write!(f, "{n}"),
+            HavingOperand::Term(t) => write!(f, "'{}'", t.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate(a, c) => write!(f, "{}({c})", a.name()),
+            SelectItem::MinDegree => write!(f, "MIN(D)"),
+            SelectItem::CountStar => write!(f, "COUNT(*)"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Number(n) => write!(f, "{n}"),
+            Operand::Term(t) => write!(f, "'{}'", t.replace('\'', "''")),
+            Operand::FuzzyLiteral(a, b, c, d) => write!(f, "TRAP({a}, {b}, {c}, {d})"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Predicate::Similar { lhs, rhs, tolerance } => {
+                write!(f, "{lhs} ~ {rhs} WITHIN {tolerance}")
+            }
+            Predicate::In { lhs, negated, query } => {
+                write!(f, "{lhs} {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+            Predicate::Quantified { lhs, op, quantifier, query } => {
+                let q = match quantifier {
+                    Quantifier::All => "ALL",
+                    Quantifier::Some => "SOME",
+                };
+                write!(f, "{lhs} {op} {q} ({query})")
+            }
+            Predicate::AggSubquery { lhs, op, query } => write!(f, "{lhs} {op} ({query})"),
+            Predicate::Exists { negated, query } => {
+                write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// Display must round-trip through the parser for representative queries.
+    #[test]
+    fn roundtrip() {
+        let sources = [
+            "SELECT F.NAME, M.NAME FROM F, M WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'",
+            "SELECT F.NAME FROM F WHERE F.AGE = 'medium young' AND F.INCOME IN \
+             (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')",
+            "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME NOT IN \
+             (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)",
+            "SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Z FROM S WHERE S.V = R.U)",
+            "SELECT R.X FROM R WHERE R.Y > (SELECT MAX(S.Z) FROM S WHERE S.V = R.U)",
+            "SELECT R.K, R.X, MIN(D) FROM R, S GROUP BY R.K WITH D >= 0",
+            "SELECT DISTINCT COUNT(*) FROM R WITH D > 0.25",
+            "SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)",
+            "SELECT R.X FROM R WHERE R.NAME = 'it''s'",
+            "SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN 5",
+            "SELECT R.REGION, COUNT(R.X) FROM R GROUP BY R.REGION HAVING COUNT(*) >= 2 AND SUM(R.X) > 'high'",
+            "SELECT R.X FROM R ORDER BY D DESC LIMIT 3",
+            "SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S) ORDER BY X LIMIT 10",
+        ];
+        for src in sources {
+            let q1 = parse(src).unwrap();
+            let rendered = q1.to_string();
+            let q2 = parse(&rendered).unwrap_or_else(|e| {
+                panic!("rendered SQL failed to re-parse: {rendered:?}: {e}")
+            });
+            assert_eq!(q1, q2, "round-trip mismatch for {src:?} -> {rendered:?}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source where the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for the parser.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = ParseError::at(17, "expected FROM");
+        assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
+    }
+}

@@ -1,0 +1,357 @@
+//! The Fuzzy SQL lexer.
+//!
+//! Operates on `char` boundaries throughout, so arbitrary (including
+//! non-ASCII) input is rejected with a parse error rather than slicing a
+//! UTF-8 sequence apart — a property enforced by the fuzz tests.
+
+use crate::error::{ParseError, Result};
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// A char-boundary-aware cursor over the source text.
+struct Cursor<'a> {
+    src: &'a str,
+    /// `(byte offset, char)` pairs.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src, chars: src.char_indices().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current char (or end of input).
+    fn offset(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// The source slice between two byte offsets (both char boundaries).
+    fn slice(&self, from: usize, to: usize) -> &'a str {
+        &self.src[from..to]
+    }
+}
+
+/// Tokenizes a Fuzzy SQL source string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let offset = cur.offset();
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '-' if cur.peek2() == Some('-') => {
+                // Line comment.
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            '-' if cur.peek2().is_some_and(|c| c.is_ascii_digit() || c == '.') => {
+                // Negative number literal (the grammar has no arithmetic, so
+                // '-' can only start one).
+                tokens.push(lex_number(&mut cur)?);
+            }
+            '(' => simple(&mut cur, &mut tokens, TokenKind::LParen),
+            ')' => simple(&mut cur, &mut tokens, TokenKind::RParen),
+            ',' => simple(&mut cur, &mut tokens, TokenKind::Comma),
+            '*' => simple(&mut cur, &mut tokens, TokenKind::Star),
+            '~' => simple(&mut cur, &mut tokens, TokenKind::Tilde),
+            '=' => simple(&mut cur, &mut tokens, TokenKind::Eq),
+            '.' => {
+                // A dot starting a number (".5") or a qualifier separator.
+                if cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    tokens.push(lex_number(&mut cur)?);
+                } else {
+                    simple(&mut cur, &mut tokens, TokenKind::Dot);
+                }
+            }
+            '<' => {
+                cur.bump();
+                let kind = match cur.peek() {
+                    Some('=') => {
+                        cur.bump();
+                        TokenKind::Le
+                    }
+                    Some('>') => {
+                        cur.bump();
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token { kind, offset });
+            }
+            '>' => {
+                cur.bump();
+                let kind = if cur.peek() == Some('=') {
+                    cur.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, offset });
+            }
+            '!' => {
+                cur.bump();
+                if cur.peek() == Some('=') {
+                    cur.bump();
+                    tokens.push(Token { kind: TokenKind::Ne, offset });
+                } else {
+                    return Err(ParseError::at(offset, "unexpected character '!'"));
+                }
+            }
+            '\'' | '"' => tokens.push(lex_string(&mut cur, c)?),
+            c if c.is_ascii_digit() => tokens.push(lex_number(&mut cur)?),
+            c if c.is_alphabetic() || c == '_' => tokens.push(lex_word(&mut cur)),
+            other => {
+                return Err(ParseError::at(offset, format!("unexpected character {other:?}")))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+fn simple(cur: &mut Cursor<'_>, tokens: &mut Vec<Token>, kind: TokenKind) {
+    tokens.push(Token { kind, offset: cur.offset() });
+    cur.bump();
+}
+
+fn lex_string(cur: &mut Cursor<'_>, quote: char) -> Result<Token> {
+    let start = cur.offset();
+    cur.bump(); // opening quote
+    let mut out = String::new();
+    while let Some(c) = cur.bump() {
+        if c == quote {
+            // Doubled quote escapes itself.
+            if cur.peek() == Some(quote) {
+                out.push(quote);
+                cur.bump();
+                continue;
+            }
+            return Ok(Token { kind: TokenKind::Str(out), offset: start });
+        }
+        out.push(c);
+    }
+    Err(ParseError::at(start, "unterminated string literal"))
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> Result<Token> {
+    let start = cur.offset();
+    if cur.peek() == Some('-') {
+        cur.bump();
+    }
+    let digits_start = cur.offset();
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() {
+            cur.bump();
+        } else if c == '.' && !seen_dot && !seen_exp {
+            // A dot only belongs to the number if a digit follows (so `1.x`
+            // and qualified names error clearly).
+            if cur.peek2().is_some_and(|n| n.is_ascii_digit()) {
+                seen_dot = true;
+                cur.bump();
+            } else {
+                break;
+            }
+        } else if (c == 'e' || c == 'E') && !seen_exp && cur.offset() > digits_start {
+            let next = cur.peek2();
+            let exp_ok = match next {
+                Some(d) if d.is_ascii_digit() => true,
+                Some('+') | Some('-') => cur
+                    .chars
+                    .get(cur.pos + 2)
+                    .is_some_and(|&(_, d)| d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp_ok {
+                seen_exp = true;
+                cur.bump(); // e
+                if matches!(cur.peek(), Some('+') | Some('-')) {
+                    cur.bump();
+                }
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let text = cur.slice(start, cur.offset());
+    let v: f64 = text
+        .parse()
+        .map_err(|_| ParseError::at(start, format!("invalid number {text:?}")))?;
+    Ok(Token { kind: TokenKind::Number(v), offset: start })
+}
+
+fn lex_word(cur: &mut Cursor<'_>) -> Token {
+    let start = cur.offset();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let word = cur.slice(start, cur.offset());
+    let kind = if is_keyword(word) {
+        TokenKind::Keyword(word.to_ascii_uppercase())
+    } else {
+        TokenKind::Ident(word.to_string())
+    };
+    Token { kind, offset: start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query_1() {
+        let ks = kinds(
+            "SELECT F.NAME, M.NAME FROM F, M \
+             WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'",
+        );
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("F".into()));
+        assert_eq!(ks[2], TokenKind::Dot);
+        assert!(ks.contains(&TokenKind::Str("medium high".into())));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= ~"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Tilde,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 .25 1e3 2.5e-2 -7 -0.5"),
+            vec![
+                TokenKind::Number(42.0),
+                TokenKind::Number(3.5),
+                TokenKind::Number(0.25),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Number(-7.0),
+                TokenKind::Number(-0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_are_not_numbers() {
+        assert_eq!(
+            kinds("R.X"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("X".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds("'medium young' \"about 35\" 'it''s'"),
+            vec![
+                TokenKind::Str("medium young".into()),
+                TokenKind::Str("about 35".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the answer\n 42"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Number(42.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_error_with_position() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert!(err.to_string().contains("'#'"));
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(err.to_string().contains('!'));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select Select SELECT"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+            TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn non_ascii_input_is_rejected_not_panicked() {
+        // Multibyte characters anywhere must yield clean errors (or lex as
+        // identifiers when alphabetic), never slice panics.
+        assert!(tokenize("SELECT ‰ FROM R").is_err());
+        assert!(tokenize("\u{87}\u{87}").is_err());
+        // Alphabetic non-ASCII lexes as an identifier.
+        let ks = kinds("SELECT café FROM R");
+        assert!(matches!(&ks[1], TokenKind::Ident(s) if s == "café"));
+        // Inside strings, any char is fine.
+        let ks = kinds("'héllo ‰ wörld'");
+        assert!(matches!(&ks[0], TokenKind::Str(s) if s.contains('‰')));
+    }
+}

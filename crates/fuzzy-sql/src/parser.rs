@@ -1,0 +1,758 @@
+//! Recursive-descent parser for Fuzzy SQL.
+//!
+//! Grammar (conjunctive WHERE, per the paper's Section 2.2 assumption):
+//!
+//! ```text
+//! query     := SELECT [DISTINCT] item (',' item)* FROM table (',' table)*
+//!              [WHERE pred (AND pred)*] [GROUP BY col (',' col)*]
+//!              [WITH col ('>'|'>=') number]
+//! item      := col | AGG '(' col ')' | COUNT '(' '*' ')' | MIN '(' D ')'
+//! table     := ident [[AS] ident]
+//! pred      := operand cmp operand
+//!            | operand cmp (ALL | SOME | ANY) '(' query ')'
+//!            | operand cmp '(' query ')'
+//!            | operand [IS] [NOT] IN '(' query ')'
+//!            | [NOT] EXISTS '(' query ')'
+//! operand   := col | number | string
+//! col       := ident ['.' ident]
+//! ```
+
+use crate::ast::{
+    AggFunc, ColumnRef, HavingOperand, HavingPredicate, Operand, OrderBy, OrderKey, Predicate,
+    Quantifier, Query, SelectItem, TableRef, Threshold,
+};
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use fuzzy_core::CmpOp;
+
+/// Parses one Fuzzy SQL SELECT statement.
+pub fn parse(src: &str) -> Result<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::at(self.offset(), format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.offset(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.offset(),
+                format!("unexpected trailing input: {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(ParseError::at(
+                self.offset(),
+                format!("expected an identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut select = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates.push(self.predicate()?);
+            while self.eat_keyword("AND") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            having.push(self.having_predicate()?);
+            while self.eat_keyword("AND") {
+                having.push(self.having_predicate()?);
+            }
+        }
+        let with_threshold = if self.eat_keyword("WITH") {
+            Some(self.threshold()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let col = self.column_ref()?;
+            let key = if col.is_degree() && col.table.is_none() {
+                OrderKey::Degree
+            } else {
+                OrderKey::Column(col)
+            };
+            let descending = if self.eat_keyword("DESC") {
+                true
+            } else {
+                let _ = self.eat_keyword("ASC");
+                false
+            };
+            Some(OrderBy { key, descending })
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("expected a non-negative integer after LIMIT, found {other}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            predicates,
+            group_by,
+            having,
+            with_threshold,
+            order_by,
+            limit,
+        })
+    }
+
+    fn having_operand(&mut self) -> Result<HavingOperand> {
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if matches!(self.peek2(), TokenKind::LParen) {
+                if let Some(agg) = AggFunc::from_name(&name) {
+                    self.bump();
+                    self.bump();
+                    if agg == AggFunc::Count && self.eat(&TokenKind::Star) {
+                        self.expect(TokenKind::RParen)?;
+                        return Ok(HavingOperand::CountStar);
+                    }
+                    let col = self.column_ref()?;
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(HavingOperand::Aggregate(agg, col));
+                }
+            }
+        }
+        Ok(match self.operand()? {
+            Operand::Column(c) => HavingOperand::Column(c),
+            Operand::Number(n) => HavingOperand::Number(n),
+            Operand::Term(t) => HavingOperand::Term(t),
+            Operand::FuzzyLiteral(..) => {
+                return Err(ParseError::at(
+                    self.offset(),
+                    "fuzzy literals are not supported in HAVING; define a term instead",
+                ))
+            }
+        })
+    }
+
+    fn having_predicate(&mut self) -> Result<HavingPredicate> {
+        let lhs = self.having_operand()?;
+        let op = self.cmp_op()?;
+        let rhs = self.having_operand()?;
+        Ok(HavingPredicate { lhs, op, rhs })
+    }
+
+    fn threshold(&mut self) -> Result<Threshold> {
+        let col = self.column_ref()?;
+        if !col.is_degree() {
+            return Err(ParseError::at(
+                self.offset(),
+                format!("WITH clause must threshold the degree attribute D, found {col}"),
+            ));
+        }
+        let strict = match self.bump() {
+            TokenKind::Gt => true,
+            TokenKind::Ge => false,
+            other => {
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("expected > or >= after WITH D, found {other}"),
+                ))
+            }
+        };
+        match self.bump() {
+            TokenKind::Number(z) if (0.0..=1.0).contains(&z) => Ok(Threshold { z, strict }),
+            TokenKind::Number(z) => Err(ParseError::at(
+                self.offset(),
+                format!("WITH threshold {z} outside [0, 1]"),
+            )),
+            other => Err(ParseError::at(
+                self.offset(),
+                format!("expected a threshold number, found {other}"),
+            )),
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // Aggregate: IDENT '(' …
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if matches!(self.peek2(), TokenKind::LParen) {
+                if let Some(agg) = AggFunc::from_name(&name) {
+                    self.bump(); // name
+                    self.bump(); // (
+                    if agg == AggFunc::Count && self.eat(&TokenKind::Star) {
+                        self.expect(TokenKind::RParen)?;
+                        return Ok(SelectItem::CountStar);
+                    }
+                    let col = self.column_ref()?;
+                    self.expect(TokenKind::RParen)?;
+                    if agg == AggFunc::Min && col.is_degree() {
+                        return Ok(SelectItem::MinDegree);
+                    }
+                    return Ok(SelectItem::Aggregate(agg, col));
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let _ = self.eat_keyword("AS");
+        let alias = match self.peek() {
+            TokenKind::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef { table: Some(first), column })
+        } else {
+            Ok(ColumnRef { table: None, column: first })
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Operand::Number(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Operand::Term(s))
+            }
+            // Inline fuzzy literals: TRAP(a,b,c,d) / TRI(a,b,c) / ABOUT(v,w).
+            TokenKind::Ident(w)
+                if matches!(self.peek2(), TokenKind::LParen)
+                    && ["TRAP", "TRI", "ABOUT"].iter().any(|k| w.eq_ignore_ascii_case(k)) =>
+            {
+                self.fuzzy_literal(&w)
+            }
+            TokenKind::Ident(_) => Ok(Operand::Column(self.column_ref()?)),
+            other => Err(ParseError::at(
+                self.offset(),
+                format!("expected a column, number, or quoted term, found {other}"),
+            )),
+        }
+    }
+
+    fn fuzzy_literal(&mut self, kind: &str) -> Result<Operand> {
+        self.bump(); // name
+        self.bump(); // (
+        let mut nums = Vec::new();
+        loop {
+            match self.bump() {
+                TokenKind::Number(n) => nums.push(n),
+                other => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("expected a number in {kind}(…), found {other}"),
+                    ))
+                }
+            }
+            match self.bump() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("expected , or ) in {kind}(…), found {other}"),
+                    ))
+                }
+            }
+        }
+        let shape = match (kind.to_ascii_uppercase().as_str(), nums.as_slice()) {
+            ("TRAP", [a, b, c, d]) => (*a, *b, *c, *d),
+            ("TRI", [a, b, c]) => (*a, *b, *b, *c),
+            ("ABOUT", [v, w]) => (*v - *w, *v, *v, *v + *w),
+            (k, args) => {
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("{k}(…) takes {} numbers, got {}", match k {
+                        "TRAP" => 4,
+                        "TRI" => 3,
+                        _ => 2,
+                    }, args.len()),
+                ))
+            }
+        };
+        Ok(Operand::FuzzyLiteral(shape.0, shape.1, shape.2, shape.3))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("expected a comparison operator, found {other}"),
+                ))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        // [NOT] EXISTS ( query )
+        if self.eat_keyword("EXISTS") {
+            return self.exists(false);
+        }
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == "NOT")
+            && matches!(self.peek2(), TokenKind::Keyword(k) if k == "EXISTS")
+        {
+            self.bump();
+            self.bump();
+            return self.exists(true);
+        }
+        let lhs = self.operand()?;
+        // [IS] [NOT] IN ( query )
+        let had_is = self.eat_keyword("IS");
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect(TokenKind::LParen)?;
+            let query = Box::new(self.query()?);
+            self.expect(TokenKind::RParen)?;
+            return Ok(Predicate::In { lhs, negated, query });
+        }
+        if had_is || negated {
+            return Err(ParseError::at(
+                self.offset(),
+                format!("expected IN after IS/NOT, found {}", self.peek()),
+            ));
+        }
+        // Similarity: X ~ Y WITHIN t.
+        if self.eat(&TokenKind::Tilde) {
+            let rhs = self.operand()?;
+            self.expect_keyword("WITHIN")?;
+            let tolerance = match self.bump() {
+                TokenKind::Number(t) if t > 0.0 => t,
+                TokenKind::Number(t) => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("similarity tolerance must be positive, got {t}"),
+                    ))
+                }
+                other => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("expected a tolerance number after WITHIN, found {other}"),
+                    ))
+                }
+            };
+            return Ok(Predicate::Similar { lhs, rhs, tolerance });
+        }
+        let op = self.cmp_op()?;
+        // Quantified: op ALL/SOME/ANY ( query )
+        for (kw, quantifier) in [
+            ("ALL", Quantifier::All),
+            ("SOME", Quantifier::Some),
+            ("ANY", Quantifier::Some),
+        ] {
+            if self.eat_keyword(kw) {
+                self.expect(TokenKind::LParen)?;
+                let query = Box::new(self.query()?);
+                self.expect(TokenKind::RParen)?;
+                return Ok(Predicate::Quantified { lhs, op, quantifier, query });
+            }
+        }
+        // Aggregate sub-query: op ( SELECT … )
+        if matches!(self.peek(), TokenKind::LParen)
+            && matches!(self.peek2(), TokenKind::Keyword(k) if k == "SELECT")
+        {
+            self.bump(); // (
+            let query = Box::new(self.query()?);
+            self.expect(TokenKind::RParen)?;
+            return Ok(Predicate::AggSubquery { lhs, op, query });
+        }
+        let rhs = self.operand()?;
+        Ok(Predicate::Compare { lhs, op, rhs })
+    }
+
+    fn exists(&mut self, negated: bool) -> Result<Predicate> {
+        self.expect(TokenKind::LParen)?;
+        let query = Box::new(self.query()?);
+        self.expect(TokenKind::RParen)?;
+        Ok(Predicate::Exists { negated, query })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_1() {
+        let q = parse(
+            "SELECT F.NAME, M.NAME FROM F, M \
+             WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.depth(), 1);
+        match &q.predicates[1] {
+            Predicate::Compare { op, rhs, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*rhs, Operand::Term("medium high".into()));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_query_2_nested_in() {
+        let q = parse(
+            "SELECT F.NAME FROM F \
+             WHERE F.AGE = 'medium young' AND F.INCOME IN \
+             (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')",
+        )
+        .unwrap();
+        assert_eq!(q.depth(), 2);
+        match &q.predicates[1] {
+            Predicate::In { negated, query, .. } => {
+                assert!(!negated);
+                assert_eq!(query.from[0].table, "M");
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_is_in_and_is_not_in() {
+        let q = parse(
+            "SELECT R.X FROM R WHERE R.Y IS IN (SELECT S.Z FROM S)",
+        )
+        .unwrap();
+        assert!(matches!(&q.predicates[0], Predicate::In { negated: false, .. }));
+        let q = parse(
+            "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME IS NOT IN \
+             (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)",
+        )
+        .unwrap();
+        assert!(matches!(&q.predicates[0], Predicate::In { negated: true, .. }));
+        assert_eq!(q.from[0].alias.as_deref(), Some("R"));
+    }
+
+    #[test]
+    fn parses_paper_query_5_aggregate() {
+        let q = parse(
+            "SELECT R.NAME FROM CITIES_REGION_A R \
+             WHERE R.AVE_HOME_INCOME > \
+             (SELECT MAX(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
+              WHERE S.POPULATION = R.POPULATION)",
+        )
+        .unwrap();
+        match &q.predicates[0] {
+            Predicate::AggSubquery { op, query, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert!(matches!(query.select[0], SelectItem::Aggregate(AggFunc::Max, _)));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        for (kw, quant) in [("ALL", Quantifier::All), ("SOME", Quantifier::Some), ("ANY", Quantifier::Some)] {
+            let q = parse(&format!(
+                "SELECT R.X FROM R WHERE R.Y < {kw} (SELECT S.Z FROM S WHERE S.V = R.U)"
+            ))
+            .unwrap();
+            match &q.predicates[0] {
+                Predicate::Quantified { quantifier, op, .. } => {
+                    assert_eq!(*quantifier, quant);
+                    assert_eq!(*op, CmpOp::Lt);
+                }
+                other => panic!("unexpected predicate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_exists() {
+        let q = parse("SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S WHERE S.V = R.U)")
+            .unwrap();
+        assert!(matches!(&q.predicates[0], Predicate::Exists { negated: false, .. }));
+        let q = parse("SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)").unwrap();
+        assert!(matches!(&q.predicates[0], Predicate::Exists { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_with_group_by_and_aggregates() {
+        let q = parse(
+            "SELECT R.K, R.X, MIN(D) FROM R, S \
+             WHERE R.Y = S.Z GROUP BY R.K WITH D >= 0",
+        )
+        .unwrap();
+        assert!(matches!(q.select[2], SelectItem::MinDegree));
+        assert_eq!(q.group_by, vec![ColumnRef::qualified("R", "K")]);
+        let th = q.with_threshold.unwrap();
+        assert!(!th.strict);
+        assert_eq!(th.z, 0.0);
+    }
+
+    #[test]
+    fn parses_with_threshold_strict() {
+        let q = parse("SELECT R.X FROM R WITH D > 0.5").unwrap();
+        let th = q.with_threshold.unwrap();
+        assert!(th.strict);
+        assert_eq!(th.z, 0.5);
+        // Out-of-range thresholds rejected.
+        assert!(parse("SELECT R.X FROM R WITH D > 1.5").is_err());
+        // Non-degree columns rejected.
+        assert!(parse("SELECT R.X FROM R WITH R.X > 0.5").is_err());
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct() {
+        let q = parse("SELECT DISTINCT COUNT(*) FROM R").unwrap();
+        assert!(q.distinct);
+        assert!(matches!(q.select[0], SelectItem::CountStar));
+    }
+
+    #[test]
+    fn parses_three_level_chain() {
+        let q = parse(
+            "SELECT R1.X1 FROM R1 WHERE R1.Y1 IN \
+             (SELECT R2.X2 FROM R2 WHERE R2.U2 = R1.U1 AND R2.X2 IN \
+              (SELECT R3.X3 FROM R3 WHERE R3.V3 = R2.V2 AND R3.W3 = R1.W1))",
+        )
+        .unwrap();
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse("SELECT FROM R").unwrap_err();
+        assert!(err.to_string().contains("identifier"));
+        let err = parse("SELECT R.X R").unwrap_err();
+        assert!(err.to_string().contains("expected FROM"));
+        let err = parse("SELECT R.X FROM R WHERE R.Y IS 5").unwrap_err();
+        assert!(err.to_string().contains("IN"));
+        let err = parse("SELECT R.X FROM R extra garbage()").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn mixed_literal_operands() {
+        let q = parse("SELECT R.X FROM R WHERE R.AGE >= 21 AND R.NAME = 'Ann'").unwrap();
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Compare { rhs: Operand::Number(v), .. } if *v == 21.0
+        ));
+        assert!(matches!(
+            &q.predicates[1],
+            Predicate::Compare { rhs: Operand::Term(t), .. } if t == "Ann"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod similar_tests {
+    use super::*;
+
+    #[test]
+    fn parses_similarity_predicates() {
+        let q = parse("SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN 5").unwrap();
+        match &q.predicates[0] {
+            Predicate::Similar { rhs, tolerance, .. } => {
+                assert_eq!(*rhs, Operand::Number(30.0));
+                assert_eq!(*tolerance, 5.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Column-to-column similarity with a nested query around it.
+        let q = parse(
+            "SELECT R.X FROM R WHERE R.AGE ~ R.RETIREMENT_AGE WITHIN 2.5 AND R.Y IN \
+             (SELECT S.Y FROM S WHERE S.V ~ R.U WITHIN 1)",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        // Round-trips through Display.
+        let q2 = parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn similarity_errors() {
+        assert!(parse("SELECT R.X FROM R WHERE R.AGE ~ 30").is_err(), "missing WITHIN");
+        assert!(parse("SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN 0").is_err(), "zero tolerance");
+        assert!(parse("SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN -1").is_err());
+        assert!(parse("SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN abc").is_err());
+    }
+
+    #[test]
+    fn similarity_does_not_change_classification() {
+        use crate::classify::{classify, QueryClass};
+        let q = parse(
+            "SELECT R.X FROM R WHERE R.AGE ~ 30 WITHIN 5 AND R.Y IN \
+             (SELECT S.Y FROM S WHERE S.U = R.U)",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::TypeJ);
+    }
+}
+
+#[cfg(test)]
+mod extended_clause_tests {
+    use super::*;
+    use crate::ast::{HavingOperand, OrderKey};
+
+    #[test]
+    fn parses_having() {
+        let q = parse(
+            "SELECT R.REGION FROM R GROUP BY R.REGION \
+             HAVING COUNT(*) > 2 AND AVG(R.AMOUNT) >= 10",
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 2);
+        assert!(matches!(q.having[0].lhs, HavingOperand::CountStar));
+        assert!(matches!(q.having[1].lhs, HavingOperand::Aggregate(AggFunc::Avg, _)));
+        assert!(matches!(q.having[1].rhs, HavingOperand::Number(n) if n == 10.0));
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let q = parse("SELECT R.X FROM R ORDER BY D DESC LIMIT 5").unwrap();
+        let o = q.order_by.as_ref().unwrap();
+        assert_eq!(o.key, OrderKey::Degree);
+        assert!(o.descending);
+        assert_eq!(q.limit, Some(5));
+
+        let q = parse("SELECT R.X FROM R ORDER BY R.X ASC").unwrap();
+        let o = q.order_by.as_ref().unwrap();
+        assert!(matches!(&o.key, OrderKey::Column(c) if c.column == "X"));
+        assert!(!o.descending);
+        assert_eq!(q.limit, None);
+
+        // R.D qualified is a column named D of R, not the degree pseudo-key.
+        let q = parse("SELECT R.X FROM R ORDER BY R.D").unwrap();
+        assert!(matches!(&q.order_by.as_ref().unwrap().key, OrderKey::Column(_)));
+    }
+
+    #[test]
+    fn limit_validation() {
+        assert!(parse("SELECT R.X FROM R LIMIT -1").is_err());
+        assert!(parse("SELECT R.X FROM R LIMIT 1.5").is_err());
+        assert!(parse("SELECT R.X FROM R LIMIT abc").is_err());
+        assert_eq!(parse("SELECT R.X FROM R LIMIT 0").unwrap().limit, Some(0));
+    }
+
+    #[test]
+    fn clause_order_is_enforced() {
+        // WITH comes before ORDER BY; the reverse fails as trailing input.
+        assert!(parse("SELECT R.X FROM R WITH D > 0.5 ORDER BY D").is_ok());
+        assert!(parse("SELECT R.X FROM R ORDER BY D WITH D > 0.5").is_err());
+    }
+}

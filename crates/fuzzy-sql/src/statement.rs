@@ -1,0 +1,557 @@
+//! Statements beyond SELECT: the DDL/DML surface of the database.
+//!
+//! The paper's system (Omron's Fuzzy LUNA) is queried through SELECT; this
+//! module adds the statements a usable database needs, with fuzzy-aware
+//! semantics:
+//!
+//! * `CREATE TABLE t (col TEXT | NUMBER [KEY], …)`
+//! * `DEFINE TERM 'name' AS TRAP(a, b, c, d) | TRI(a, b, c) | ABOUT(v, w)`
+//! * `INSERT INTO t VALUES (v, …) [WITH D = d]` — the optional degree makes
+//!   the tuple a partial member of the relation;
+//! * `DELETE FROM t [WHERE …] [WITH D > z]` — removes the tuples satisfying
+//!   the condition with positive degree (or meeting the threshold);
+//! * `UPDATE t SET col = v, … [WHERE …] [WITH D > z]` — same matching rule.
+//!
+//! Fuzzy literals `TRAP(…)`, `TRI(…)`, and `ABOUT(v, w)` are also accepted
+//! wherever operands appear in WHERE clauses.
+
+use crate::ast::{ColumnRef, Operand, Predicate, Query, Threshold};
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::TokenKind;
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// True for TEXT columns, false for NUMBER.
+    pub is_text: bool,
+    /// True if this column is the designated key.
+    pub key: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(Query),
+    /// `CREATE TABLE name (col TYPE [KEY], …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DEFINE TERM 'name' AS <fuzzy literal>`.
+    DefineTerm {
+        /// The linguistic term.
+        name: String,
+        /// Its trapezoid, as `(a, b, c, d)`.
+        shape: (f64, f64, f64, f64),
+    },
+    /// `INSERT INTO t VALUES (…) [WITH D = d]`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row values (operands: numbers, quoted terms, fuzzy literals).
+        values: Vec<Operand>,
+        /// Membership degree of the new tuple (default 1).
+        degree: f64,
+    },
+    /// `DELETE FROM t [WHERE …] [WITH D > z]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Matching conjunction (empty = all tuples).
+        predicates: Vec<Predicate>,
+        /// Optional matching threshold.
+        threshold: Option<Threshold>,
+    },
+    /// `UPDATE t SET col = v, … [WHERE …] [WITH D > z]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        assignments: Vec<(ColumnRef, Operand)>,
+        /// Matching conjunction.
+        predicates: Vec<Predicate>,
+        /// Optional matching threshold.
+        threshold: Option<Threshold>,
+    },
+    /// `ANALYZE [table]` — build optimizer histograms for the numeric
+    /// columns of one table (or of every table).
+    Analyze {
+        /// The table to analyze, or `None` for all.
+        table: Option<String>,
+    },
+}
+
+/// Parses one statement (SELECT or DDL/DML).
+///
+/// ```
+/// use fuzzy_sql::{parse_statement, Statement};
+///
+/// let stmt = parse_statement("INSERT INTO F VALUES (1, 'Ann', ABOUT(35, 5))")?;
+/// assert!(matches!(stmt, Statement::Insert { degree, .. } if degree == 1.0));
+/// # Ok::<(), fuzzy_sql::ParseError>(())
+/// ```
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let tokens = tokenize(src)?;
+    match &tokens.first().map(|t| &t.kind) {
+        Some(TokenKind::Keyword(k)) if k == "SELECT" => {
+            Ok(Statement::Select(crate::parser::parse(src)?))
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("CREATE") => {
+            StatementParser::new(src)?.create_table()
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("DEFINE") => {
+            StatementParser::new(src)?.define_term()
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("INSERT") => {
+            StatementParser::new(src)?.insert()
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("DELETE") => {
+            StatementParser::new(src)?.delete()
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("UPDATE") => {
+            StatementParser::new(src)?.update()
+        }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("ANALYZE") => {
+            StatementParser::new(src)?.analyze()
+        }
+        _ => Err(ParseError::at(
+            0,
+            "expected SELECT, CREATE TABLE, DEFINE TERM, INSERT, DELETE, UPDATE, or ANALYZE",
+        )),
+    }
+}
+
+/// A small token cursor for the non-SELECT statements. WHERE clauses are
+/// delegated to the main SELECT parser by re-parsing a synthesized query.
+struct StatementParser {
+    tokens: Vec<crate::token::Token>,
+    pos: usize,
+    src: String,
+}
+
+impl StatementParser {
+    fn new(src: &str) -> Result<StatementParser> {
+        Ok(StatementParser { tokens: tokenize(src)?, pos: 0, src: src.to_string() })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        let hit = match self.peek() {
+            TokenKind::Ident(w) => w.eq_ignore_ascii_case(word),
+            TokenKind::Keyword(k) => k.eq_ignore_ascii_case(word),
+            _ => false,
+        };
+        if hit {
+            self.bump();
+        }
+        hit
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(ParseError::at(self.offset(), format!("expected {word}, found {}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::at(self.offset(), format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError::at(self.offset(), format!("expected a name, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.bump() {
+            TokenKind::Number(n) => Ok(n),
+            other => {
+                Err(ParseError::at(self.offset(), format!("expected a number, found {other}")))
+            }
+        }
+    }
+
+
+    fn eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.offset(),
+                format!("unexpected trailing input: {}", self.peek()),
+            ))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_word("CREATE")?;
+        self.expect_word("TABLE")?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let is_text = if self.eat_word("TEXT") {
+                true
+            } else if self.eat_word("NUMBER") {
+                false
+            } else {
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("expected TEXT or NUMBER after column {col}"),
+                ));
+            };
+            let key = self.eat_word("KEY");
+            columns.push(ColumnDef { name: col, is_text, key });
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        self.expect(TokenKind::RParen)?;
+        self.eof()?;
+        if columns.iter().filter(|c| c.key).count() > 1 {
+            return Err(ParseError::at(0, "at most one KEY column"));
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn fuzzy_shape(&mut self) -> Result<(f64, f64, f64, f64)> {
+        if self.eat_word("TRAP") {
+            self.expect(TokenKind::LParen)?;
+            let a = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let b = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let c = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let d = self.number()?;
+            self.expect(TokenKind::RParen)?;
+            Ok((a, b, c, d))
+        } else if self.eat_word("TRI") {
+            self.expect(TokenKind::LParen)?;
+            let a = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let b = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let c = self.number()?;
+            self.expect(TokenKind::RParen)?;
+            Ok((a, b, b, c))
+        } else if self.eat_word("ABOUT") {
+            self.expect(TokenKind::LParen)?;
+            let v = self.number()?;
+            self.expect(TokenKind::Comma)?;
+            let w = self.number()?;
+            self.expect(TokenKind::RParen)?;
+            Ok((v - w, v, v, v + w))
+        } else {
+            Err(ParseError::at(
+                self.offset(),
+                format!("expected TRAP(…), TRI(…), or ABOUT(…), found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn define_term(&mut self) -> Result<Statement> {
+        self.expect_word("DEFINE")?;
+        self.expect_word("TERM")?;
+        let name = match self.bump() {
+            TokenKind::Str(s) => s,
+            other => {
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("expected a quoted term name, found {other}"),
+                ))
+            }
+        };
+        self.expect_word("AS")?;
+        let shape = self.fuzzy_shape()?;
+        self.eof()?;
+        Ok(Statement::DefineTerm { name, shape })
+    }
+
+    fn value_operand(&mut self) -> Result<Operand> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Operand::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Operand::Term(s))
+            }
+            TokenKind::Ident(w)
+                if ["TRAP", "TRI", "ABOUT"].iter().any(|k| w.eq_ignore_ascii_case(k)) =>
+            {
+                let (a, b, c, d) = self.fuzzy_shape()?;
+                Ok(Operand::FuzzyLiteral(a, b, c, d))
+            }
+            other => Err(ParseError::at(
+                self.offset(),
+                format!("expected a value (number, quoted text/term, or TRAP/TRI/ABOUT), found {other}"),
+            )),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_word("INSERT")?;
+        self.expect_word("INTO")?;
+        let table = self.ident()?;
+        self.expect_word("VALUES")?;
+        self.expect(TokenKind::LParen)?;
+        let mut values = vec![self.value_operand()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            values.push(self.value_operand()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        let mut degree = 1.0;
+        if self.eat_word("WITH") {
+            // WITH D = 0.8
+            let d = self.ident()?;
+            if !d.eq_ignore_ascii_case("D") {
+                return Err(ParseError::at(self.offset(), "expected D in the WITH clause"));
+            }
+            self.expect(TokenKind::Eq)?;
+            degree = self.number()?;
+            if !(0.0..=1.0).contains(&degree) {
+                return Err(ParseError::at(self.offset(), format!("degree {degree} outside [0, 1]")));
+            }
+        }
+        self.eof()?;
+        Ok(Statement::Insert { table, values, degree })
+    }
+
+    /// Parses the `[WHERE …] [WITH D > z]` tail by synthesizing a SELECT over
+    /// the target table and reusing the main parser (one grammar, one set of
+    /// predicate forms).
+    fn matching_tail(&mut self, table: &str) -> Result<(Vec<Predicate>, Option<Threshold>)> {
+        let rest = &self.src[self.tokens[self.pos].offset..];
+        let synthesized = format!("SELECT {table}.{} FROM {table} {rest}", "__match");
+        // `__match` is a placeholder select column; only predicates and the
+        // threshold are taken from the parse, so it never needs to resolve.
+        let q = crate::parser::parse(&synthesized).map_err(|e| {
+            ParseError::at(self.tokens[self.pos].offset, format!("in matching clause: {}", e.message))
+        })?;
+        if q.order_by.is_some() || q.limit.is_some() || !q.group_by.is_empty() {
+            return Err(ParseError::at(
+                self.tokens[self.pos].offset,
+                "DELETE/UPDATE accept only WHERE and WITH clauses",
+            ));
+        }
+        Ok((q.predicates, q.with_threshold))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_word("DELETE")?;
+        self.expect_word("FROM")?;
+        let table = self.ident()?;
+        if matches!(self.peek(), TokenKind::Eof) {
+            return Ok(Statement::Delete { table, predicates: Vec::new(), threshold: None });
+        }
+        let (predicates, threshold) = self.matching_tail(&table)?;
+        Ok(Statement::Delete { table, predicates, threshold })
+    }
+
+    fn analyze(&mut self) -> Result<Statement> {
+        self.expect_word("ANALYZE")?;
+        let table = match self.peek() {
+            TokenKind::Eof => None,
+            _ => Some(self.ident()?),
+        };
+        self.eof()?;
+        Ok(Statement::Analyze { table })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_word("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_word("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let col = if matches!(self.peek(), TokenKind::Dot) {
+                self.bump();
+                let c = self.ident()?;
+                ColumnRef::qualified(col, c)
+            } else {
+                ColumnRef::new(col)
+            };
+            self.expect(TokenKind::Eq)?;
+            let v = self.value_operand()?;
+            assignments.push((col, v));
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        if matches!(self.peek(), TokenKind::Eof) {
+            return Ok(Statement::Update { table, assignments, predicates: Vec::new(), threshold: None });
+        }
+        let (predicates, threshold) = self.matching_tail(&table)?;
+        Ok(Statement::Update { table, assignments, predicates, threshold })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_core::CmpOp;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse_statement("CREATE TABLE People (ID NUMBER KEY, NAME TEXT, AGE NUMBER)")
+            .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "People");
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].key);
+                assert!(columns[1].is_text);
+                assert!(!columns[2].is_text);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("CREATE TABLE T (A NUMBER KEY, B TEXT KEY)").is_err());
+        assert!(parse_statement("CREATE TABLE T (A BLOB)").is_err());
+    }
+
+    #[test]
+    fn parses_define_term() {
+        let s = parse_statement("DEFINE TERM 'warm' AS TRAP(10, 18, 24, 30)").unwrap();
+        assert_eq!(
+            s,
+            Statement::DefineTerm { name: "warm".into(), shape: (10.0, 18.0, 24.0, 30.0) }
+        );
+        let s = parse_statement("DEFINE TERM 'about 7' AS ABOUT(7, 2)").unwrap();
+        assert_eq!(
+            s,
+            Statement::DefineTerm { name: "about 7".into(), shape: (5.0, 7.0, 7.0, 9.0) }
+        );
+        let s = parse_statement("DEFINE TERM 'peak' AS TRI(0, 5, 10)").unwrap();
+        assert!(matches!(s, Statement::DefineTerm { shape: (0.0, 5.0, 5.0, 10.0), .. }));
+    }
+
+    #[test]
+    fn parses_insert() {
+        let s = parse_statement(
+            "INSERT INTO F VALUES (101, 'Ann', ABOUT(35, 5), 'medium high') WITH D = 0.9",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert { table, values, degree } => {
+                assert_eq!(table, "F");
+                assert_eq!(values.len(), 4);
+                assert!(matches!(values[2], Operand::FuzzyLiteral(30.0, 35.0, 35.0, 40.0)));
+                assert_eq!(degree, 0.9);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("INSERT INTO F VALUES (1) WITH D = 1.5").is_err());
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        let s = parse_statement("DELETE FROM F WHERE F.AGE = 'about 50' WITH D > 0.5").unwrap();
+        match s {
+            Statement::Delete { table, predicates, threshold } => {
+                assert_eq!(table, "F");
+                assert_eq!(predicates.len(), 1);
+                assert!(threshold.unwrap().strict);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("DELETE FROM F").unwrap();
+        assert!(matches!(s, Statement::Delete { ref predicates, .. } if predicates.is_empty()));
+
+        let s = parse_statement(
+            "UPDATE F SET INCOME = TRI(50, 60, 70), NAME = 'Anna' WHERE F.NAME = 'Ann'",
+        )
+        .unwrap();
+        match s {
+            Statement::Update { assignments, predicates, .. } => {
+                assert_eq!(assignments.len(), 2);
+                assert!(matches!(
+                    predicates[0],
+                    Predicate::Compare { op: CmpOp::Eq, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_routes_to_the_main_parser() {
+        let s = parse_statement("SELECT F.NAME FROM F").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse_statement("ANALYZE PEOPLE").unwrap(),
+            Statement::Analyze { table: Some("PEOPLE".into()) }
+        );
+        assert_eq!(parse_statement("ANALYZE").unwrap(), Statement::Analyze { table: None });
+        assert!(parse_statement("ANALYZE a b").is_err());
+    }
+
+    #[test]
+    fn junk_statements_error() {
+        assert!(parse_statement("DROP TABLE F").is_err());
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("INSERT INTO F VALUES (1) garbage").is_err());
+    }
+}
+
+#[cfg(test)]
+mod negative_number_tests {
+    use super::*;
+
+    #[test]
+    fn negative_breakpoints_in_terms() {
+        let s = parse_statement("DEFINE TERM 'freezing' AS TRAP(-30, -20, -5, 0)").unwrap();
+        assert_eq!(
+            s,
+            Statement::DefineTerm { name: "freezing".into(), shape: (-30.0, -20.0, -5.0, 0.0) }
+        );
+        let s = parse_statement("INSERT INTO T VALUES (-7, ABOUT(-2, 1))").unwrap();
+        match s {
+            Statement::Insert { values, .. } => {
+                assert_eq!(values[0], Operand::Number(-7.0));
+                assert!(matches!(values[1], Operand::FuzzyLiteral(-3.0, -2.0, -2.0, -1.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

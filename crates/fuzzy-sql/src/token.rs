@@ -1,0 +1,109 @@
+//! Tokens of the Fuzzy SQL language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively by the lexer and
+/// normalized here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased): SELECT, FROM, WHERE, AND, IN, NOT, IS, ALL,
+    /// SOME, ANY, EXISTS, GROUP, BY, HAVING, WITH, DISTINCT, …
+    Keyword(String),
+    /// Identifier (table, alias, attribute, aggregate function name).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string literal / linguistic term (single or double quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` (similarity comparison, used as `X ~ Y WITHIN t`)
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// The reserved words of Fuzzy SQL.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "IN", "NOT", "IS", "ALL", "SOME", "ANY",
+    "EXISTS", "GROUP", "BY", "HAVING", "WITH", "DISTINCT", "AS", "WITHIN", "ORDER", "LIMIT", "DESC", "ASC",
+];
+
+/// True iff `word` is a reserved keyword (case-insensitive).
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_recognition() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("Select"));
+        assert!(is_keyword("EXISTS"));
+        assert!(!is_keyword("name"));
+        assert!(!is_keyword("min"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TokenKind::Le.to_string(), "<=");
+        assert_eq!(TokenKind::Str("medium young".into()).to_string(), "\"medium young\"");
+        assert_eq!(TokenKind::Keyword("SELECT".into()).to_string(), "SELECT");
+    }
+}

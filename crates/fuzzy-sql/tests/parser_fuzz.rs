@@ -1,0 +1,58 @@
+//! Parser robustness: random and mutated inputs must produce errors, never
+//! panics, and valid queries must round-trip through Display.
+
+use fuzzy_sql::{parse, parse_statement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the lexer/parser.
+    #[test]
+    fn arbitrary_strings_never_panic(s in ".{0,160}") {
+        let _ = parse(&s);
+        let _ = parse_statement(&s);
+    }
+
+    /// SQL-flavoured token soup never panics either.
+    #[test]
+    fn token_soup_never_panics(parts in prop::collection::vec(
+        prop_oneof![
+            Just("SELECT".to_string()), Just("FROM".to_string()), Just("WHERE".to_string()),
+            Just("AND".to_string()), Just("IN".to_string()), Just("NOT".to_string()),
+            Just("ALL".to_string()), Just("(".to_string()), Just(")".to_string()),
+            Just(",".to_string()), Just("=".to_string()), Just("<".to_string()),
+            Just(">=".to_string()), Just("~".to_string()), Just("WITHIN".to_string()),
+            Just("R.X".to_string()), Just("S.Y".to_string()), Just("'term'".to_string()),
+            Just("1.5".to_string()), Just("GROUP".to_string()), Just("BY".to_string()),
+            Just("ORDER".to_string()), Just("LIMIT".to_string()), Just("WITH".to_string()),
+            Just("D".to_string()), Just("TRAP".to_string()), Just("MAX".to_string()),
+            Just("INSERT".to_string()), Just("VALUES".to_string()), Just("DELETE".to_string()),
+        ],
+        0..24,
+    )) {
+        let s = parts.join(" ");
+        let _ = parse(&s);
+        let _ = parse_statement(&s);
+    }
+
+    /// Every successfully parsed SELECT renders to SQL that re-parses to the
+    /// same AST (Display round-trip as a property, not just examples).
+    #[test]
+    fn parsed_queries_roundtrip(parts in prop::collection::vec(
+        prop_oneof![
+            Just("SELECT R.X FROM R".to_string()),
+            Just("SELECT R.X, S.Y FROM R, S WHERE R.X = S.Y".to_string()),
+            Just("SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)".to_string()),
+            Just("SELECT R.X FROM R WHERE R.Y ~ 5 WITHIN 2 ORDER BY D DESC LIMIT 3".to_string()),
+            Just("SELECT R.X FROM R WHERE R.Y > (SELECT AVG(S.Z) FROM S) WITH D > 0.4".to_string()),
+        ],
+        1..2,
+    )) {
+        for src in parts {
+            let q1 = parse(&src).expect("known-good query");
+            let q2 = parse(&q1.to_string()).expect("rendered query must re-parse");
+            prop_assert_eq!(q1, q2);
+        }
+    }
+}

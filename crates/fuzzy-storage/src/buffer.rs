@@ -1,0 +1,247 @@
+//! The buffer pool.
+//!
+//! All page reads performed by query operators go through a buffer pool with
+//! a fixed frame budget and LRU replacement. The paper's cost analysis
+//! depends on this structure: the nested-loop join allocates one page to the
+//! inner relation and the rest to the outer (Section 9), while the extended
+//! merge-join holds one page of `R` plus the pages of `S` spanned by the
+//! current `Rng(r)` (Section 3) — if they fit, each page of `S` is read
+//! exactly once; if not, LRU causes the re-reads a real system would incur.
+//!
+//! Frames hold immutable page images (`Rc<[u8]>`), so an operator can keep a
+//! cheap handle to a page while the pool replaces the frame; that models
+//! pinning without reference-counted pin bookkeeping leaking into operators.
+
+use crate::disk::{PageId, SimDisk};
+use crate::error::Result;
+use crate::file::HeapFile;
+use crate::page::Page;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Hit/miss statistics of a buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests satisfied from a resident frame.
+    pub hits: u64,
+    /// Requests that required a physical read.
+    pub misses: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Rc<[u8]>>,
+    lru: Vec<PageId>, // least-recently-used first
+    capacity: usize,
+    stats: PoolStats,
+}
+
+/// An LRU buffer pool over a [`SimDisk`]. Cloning shares the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    disk: SimDisk,
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufferPool {
+    /// Creates a pool with a budget of `capacity` frames (pages).
+    pub fn new(disk: &SimDisk, capacity: usize) -> BufferPool {
+        assert!(capacity >= 1, "a buffer pool needs at least one frame");
+        BufferPool {
+            disk: disk.clone(),
+            inner: Rc::new(RefCell::new(PoolInner {
+                frames: HashMap::with_capacity(capacity),
+                lru: Vec::with_capacity(capacity),
+                capacity,
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// The frame budget.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// The disk behind this pool.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Fetches a page image, reading from disk on a miss and evicting the
+    /// least recently used frame if the pool is full.
+    pub fn get(&self, id: PageId) -> Result<Rc<[u8]>> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(frame) = inner.frames.get(&id).cloned() {
+            inner.stats.hits += 1;
+            touch(&mut inner.lru, id);
+            return Ok(frame);
+        }
+        let data: Rc<[u8]> = Rc::from(self.disk.read_page(id)?);
+        inner.stats.misses += 1;
+        if inner.frames.len() >= inner.capacity {
+            let victim = inner.lru.remove(0);
+            inner.frames.remove(&victim);
+        }
+        inner.frames.insert(id, data.clone());
+        inner.lru.push(id);
+        Ok(data)
+    }
+
+    /// Fetches and parses a slotted page.
+    pub fn get_page(&self, id: PageId) -> Result<Page> {
+        let bytes = self.get(id)?;
+        Page::from_bytes(bytes.to_vec().into_boxed_slice())
+    }
+
+    /// Drops every resident frame (e.g. between experiment legs) without
+    /// touching statistics.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.frames.clear();
+        inner.lru.clear();
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Scans every record of a heap file in storage order through the pool.
+    pub fn scan<'a>(&'a self, file: &'a HeapFile) -> RecordScan<'a> {
+        RecordScan {
+            pool: self,
+            file,
+            page_index: 0,
+            current: None,
+            slot: 0,
+        }
+    }
+}
+
+fn touch(lru: &mut Vec<PageId>, id: PageId) {
+    if let Some(pos) = lru.iter().position(|&p| p == id) {
+        lru.remove(pos);
+    }
+    lru.push(id);
+}
+
+/// Iterator over all records of a heap file, in `(page, slot)` order.
+pub struct RecordScan<'a> {
+    pool: &'a BufferPool,
+    file: &'a HeapFile,
+    page_index: u32,
+    current: Option<Page>,
+    slot: u16,
+}
+
+impl Iterator for RecordScan<'_> {
+    type Item = Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.current.is_none() {
+                if u64::from(self.page_index) >= self.file.num_pages() {
+                    return None;
+                }
+                let pid = match self.file.page_id(self.page_index) {
+                    Ok(p) => p,
+                    Err(e) => return Some(Err(e)),
+                };
+                match self.pool.get_page(pid) {
+                    Ok(p) => {
+                        self.current = Some(p);
+                        self.slot = 0;
+                    }
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            let page = self.current.as_ref().expect("just filled");
+            if self.slot < page.slot_count() {
+                let rec = page.get(self.slot).map(|r| r.to_vec());
+                self.slot += 1;
+                return Some(rec);
+            }
+            self.current = None;
+            self.page_index += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with_pages(n: usize) -> (SimDisk, Vec<PageId>) {
+        let disk = SimDisk::new(128);
+        let ids: Vec<PageId> = (0..n)
+            .map(|i| {
+                let id = disk.alloc_page();
+                let mut page = Page::new(128);
+                page.insert(&[i as u8]).unwrap();
+                disk.write_page(id, page.as_bytes()).unwrap();
+                id
+            })
+            .collect();
+        disk.reset_io();
+        (disk, ids)
+    }
+
+    #[test]
+    fn hits_and_misses() {
+        let (disk, ids) = disk_with_pages(3);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(ids[0]).unwrap();
+        pool.get(ids[0]).unwrap();
+        pool.get(ids[1]).unwrap();
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 2 });
+        assert_eq!(disk.io().reads, 2);
+    }
+
+    #[test]
+    fn lru_eviction_causes_rereads() {
+        let (disk, ids) = disk_with_pages(3);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(ids[0]).unwrap();
+        pool.get(ids[1]).unwrap();
+        pool.get(ids[2]).unwrap(); // evicts ids[0]
+        pool.get(ids[1]).unwrap(); // hit
+        pool.get(ids[0]).unwrap(); // miss again
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 4 });
+        assert_eq!(disk.io().reads, 4);
+    }
+
+    #[test]
+    fn lru_order_respects_recency() {
+        let (disk, ids) = disk_with_pages(3);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(ids[0]).unwrap();
+        pool.get(ids[1]).unwrap();
+        pool.get(ids[0]).unwrap(); // refresh 0; victim should be 1
+        pool.get(ids[2]).unwrap(); // evicts 1
+        pool.get(ids[0]).unwrap(); // still resident
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn frames_survive_for_holders_after_eviction() {
+        let (disk, ids) = disk_with_pages(2);
+        let pool = BufferPool::new(&disk, 1);
+        let held = pool.get(ids[0]).unwrap();
+        pool.get(ids[1]).unwrap(); // evicts frame 0 from the pool
+        // The held image is still valid.
+        let page = Page::from_bytes(held.to_vec().into_boxed_slice()).unwrap();
+        assert_eq!(page.get(0).unwrap(), &[0u8]);
+    }
+
+    #[test]
+    fn clear_empties_frames() {
+        let (disk, ids) = disk_with_pages(1);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(ids[0]).unwrap();
+        pool.clear();
+        pool.get(ids[0]).unwrap();
+        assert_eq!(pool.stats().misses, 2);
+        let _ = disk;
+    }
+}

@@ -1,0 +1,48 @@
+//! # fuzzy-storage
+//!
+//! The paged storage substrate of the fuzzy database: the paper's experiments
+//! run on a real disk with 8 KB pages, a bounded buffer, and a commercial
+//! external sort; this crate rebuilds those components over a simulated disk
+//! so every physical page transfer is counted and charged through a
+//! configurable cost model.
+//!
+//! * [`SimDisk`] — page-granular simulated disk with I/O counters;
+//! * [`Page`] — slotted pages holding variable-length records;
+//! * [`HeapFile`] — record files with streaming bulk load;
+//! * [`BufferPool`] — bounded LRU page cache (the buffer-allocation policies
+//!   of both join algorithms in the paper are expressed through it);
+//! * [`sort::external_sort`] — bounded-memory external merge sort;
+//! * [`CostModel`] — converts I/O counts + CPU time into response time;
+//! * [`codec`] — byte-level record encoding helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use fuzzy_storage::{SimDisk, HeapFile, BufferPool};
+//!
+//! let disk = SimDisk::with_default_page_size();
+//! let file = HeapFile::create(&disk);
+//! file.load((0u32..100).map(|i| i.to_le_bytes()))?;
+//! let pool = BufferPool::new(&disk, 4);
+//! assert_eq!(pool.scan(&file).count(), 100);
+//! # Ok::<(), fuzzy_storage::StorageError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod codec;
+pub mod cost;
+pub mod disk;
+pub mod error;
+pub mod file;
+pub mod page;
+pub mod sort;
+
+pub use buffer::{BufferPool, PoolStats, RecordScan};
+pub use cost::{CostModel, Measurement};
+pub use disk::{IoSnapshot, PageId, SimDisk, DEFAULT_PAGE_SIZE};
+pub use error::{Result, StorageError};
+pub use file::{HeapFile, RecordId};
+pub use page::Page;
+pub use sort::{external_sort, SortStats};

@@ -1,0 +1,13 @@
+//! # fuzzy-workload
+//!
+//! Workloads for the experiments and examples: the paper's running-example
+//! datasets (dating service, employees, cities) and the Section 9 synthetic
+//! generator (n tuples of a fixed byte size whose join attribute values give
+//! an average fan-out of C with small intervals).
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod paper;
+
+pub use gen::{generate, Workload, WorkloadSpec};

@@ -1,0 +1,96 @@
+//! Possibility vs. necessity — why the engine uses a single measure.
+//!
+//! Section 2 of the paper discusses the double-measure system of Prade &
+//! Testemale, where each predicate yields both a possibility and a necessity
+//! degree, and explains why it prevents composition of algebra operators
+//! (and hence unnesting): every query would produce *two* answer relations.
+//!
+//! This example computes both measures with `fuzzy_core` for the paper's
+//! running comparisons, illustrating (a) that necessity never exceeds
+//! possibility for normal convex distributions, and (b) the paper's
+//! recommended alternative — query the negation to probe the other side.
+//!
+//! ```sh
+//! cargo run --example necessity_demo
+//! ```
+
+use fuzzy_db::core::compare::{necessity, possibility, CmpOp};
+use fuzzy_db::core::{Trapezoid, Vocabulary};
+use fuzzy_db::workload::paper;
+use fuzzy_db::Database;
+use fuzzy_storage::SimDisk;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = Vocabulary::paper();
+    let term = |name: &str| *vocab.get(name).expect("paper term");
+
+    println!("== possibility vs necessity on the paper's vocabulary ==\n");
+    println!(
+        "{:<18} {:<4} {:<18} {:>6} {:>6}",
+        "X", "op", "Y", "Poss", "Nec"
+    );
+    let crisp24 = Trapezoid::crisp(24.0)?;
+    let cases: Vec<(String, Trapezoid, CmpOp, String, Trapezoid)> = vec![
+        ("24".into(), crisp24, CmpOp::Eq, "medium young".into(), term("medium young")),
+        (
+            "about 35".into(),
+            term("about 35"),
+            CmpOp::Eq,
+            "medium young".into(),
+            term("medium young"),
+        ),
+        (
+            "medium young".into(),
+            term("medium young"),
+            CmpOp::Le,
+            "middle age".into(),
+            term("middle age"),
+        ),
+        (
+            "middle age".into(),
+            term("middle age"),
+            CmpOp::Lt,
+            "old".into(),
+            term("old"),
+        ),
+        ("about 50".into(), term("about 50"), CmpOp::Gt, "medium young".into(), term("medium young")),
+    ];
+    for (xn, x, op, yn, y) in cases {
+        let p = possibility(&x, op, &y);
+        let n = necessity(&x, op, &y);
+        println!("{xn:<18} {:<4} {yn:<18} {:>6.2} {:>6.2}", op.to_string(), p.value(), n.value());
+        assert!(n <= p, "necessity may never exceed possibility");
+    }
+
+    println!(
+        "\nWith convex, normal distributions necessity <= possibility always\n\
+         holds (Section 2). A decided crisp comparison collapses both to the\n\
+         same 0/1 value:"
+    );
+    let five = Trapezoid::crisp(5.0)?;
+    let nine = Trapezoid::crisp(9.0)?;
+    println!(
+        "  5 < 9: Poss = {}, Nec = {}",
+        possibility(&five, CmpOp::Lt, &nine),
+        necessity(&five, CmpOp::Lt, &nine)
+    );
+
+    // The paper's single-measure workaround: instead of reporting necessity,
+    // issue the negated query and read its possibility.
+    println!("\n== querying the negation (the paper's single-measure idiom) ==\n");
+    let disk = SimDisk::with_default_page_size();
+    let catalog = paper::dating_service(&disk)?;
+    let db = Database::from_catalog(catalog, disk);
+    let q_in = "SELECT F.NAME FROM F WHERE F.INCOME IN \
+                (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
+    let q_not_in = "SELECT F.NAME FROM F WHERE F.INCOME NOT IN \
+                    (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
+    println!("possibly has a same-age income match:\n{}", db.query(q_in)?);
+    println!("possibly has NO same-age income match:\n{}", db.query(q_not_in)?);
+    println!(
+        "Each person may appear in both answers: that is the uncertainty the\n\
+         double-measure system encodes as (Poss, Nec), at the cost of\n\
+         composability — the price Section 2 declines to pay."
+    );
+    Ok(())
+}

@@ -1,0 +1,583 @@
+//! # fuzzy-db
+//!
+//! A fuzzy relational database with efficient processing of nested Fuzzy SQL
+//! queries — a from-scratch Rust reproduction of
+//!
+//! > Q. Yang, W. Zhang, C. Liu, J. Wu, C. Yu, H. Nakajima, N. D. Rishe.
+//! > *Efficient Processing of Nested Fuzzy SQL Queries in a Fuzzy Database.*
+//! > IEEE TKDE 13(6), 2001 (earlier version at IEEE ICDE 1995).
+//!
+//! Relations are fuzzy sets of fuzzy tuples: every tuple carries a
+//! membership degree, and ill-known attribute values are trapezoidal
+//! possibility distributions. Nested queries (`IN`, `NOT IN`, `θ ALL/SOME`,
+//! aggregate sub-queries, K-level chains) are **unnested** into flat plans
+//! evaluated with an **extended merge-join** over the interval order of
+//! Definition 3.1 — orders of magnitude faster than the nested-loop method a
+//! nested query would otherwise require.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fuzzy_db::{Database, Strategy};
+//! use fuzzy_db::rel::{AttrType, Schema, Tuple};
+//! use fuzzy_db::core::{Trapezoid, Value};
+//!
+//! let mut db = Database::new();
+//! // Linguistic vocabulary: terms usable in queries.
+//! db.define_term("medium young", Trapezoid::new(20.0, 25.0, 30.0, 35.0)?);
+//! db.define_term("middle age", Trapezoid::new(28.0, 33.0, 41.0, 51.0)?);
+//!
+//! db.create_table(
+//!     "F",
+//!     Schema::of(&[("NAME", AttrType::Text), ("AGE", AttrType::Number)]),
+//! )?;
+//! // Ill-known data: Ann's age is only vaguely known.
+//! db.insert("F", Tuple::full(vec![
+//!     Value::text("Ann"),
+//!     Value::fuzzy(Trapezoid::triangular(30.0, 35.0, 40.0)?),
+//! ]))?;
+//!
+//! let answer = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'medium young'")?;
+//! assert_eq!(answer.len(), 1);
+//! assert!((answer.tuples()[0].degree.value() - 0.5).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`core`] (re-export of `fuzzy-core`) — degrees, trapezoids, possibility
+//!   comparisons, fuzzy arithmetic, vocabularies;
+//! * [`storage`] — simulated disk, slotted pages, buffer pool, external sort,
+//!   cost model;
+//! * [`rel`] — schemas, tuples, fuzzy relations, stored tables, catalog;
+//! * [`sql`] — Fuzzy SQL parser and query-type classifier;
+//! * [`engine`] — the unnesting transformations, the extended merge-join, the
+//!   nested-loop baseline, and the naive reference evaluator;
+//! * [`workload`] — the paper's example datasets and the Section 9 synthetic
+//!   workload generator.
+
+#![warn(missing_docs)]
+
+pub use fuzzy_core as core;
+pub use fuzzy_engine as engine;
+pub use fuzzy_rel as rel;
+pub use fuzzy_sql as sql;
+pub use fuzzy_storage as storage;
+pub use fuzzy_workload as workload;
+
+pub use fuzzy_engine::{EngineError, QueryOutcome, Strategy};
+
+use fuzzy_core::{Degree, Trapezoid};
+use fuzzy_engine::{exec::ExecConfig, Engine};
+use fuzzy_rel::{Catalog, Relation, Schema, StoredTable, Tuple};
+use fuzzy_storage::{CostModel, SimDisk};
+
+/// A self-contained fuzzy database: a simulated disk, a catalog, a
+/// vocabulary, and the query engine.
+pub struct Database {
+    disk: SimDisk,
+    catalog: Catalog,
+    config: ExecConfig,
+    cost: CostModel,
+    persist_path: Option<std::path::PathBuf>,
+    statistics: std::rc::Rc<fuzzy_engine::StatsRegistry>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// An empty database with an empty vocabulary.
+    pub fn new() -> Database {
+        Database {
+            disk: SimDisk::with_default_page_size(),
+            catalog: Catalog::new(),
+            config: ExecConfig::default(),
+            cost: CostModel::default(),
+            persist_path: None,
+            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
+        }
+    }
+
+    /// A database preloaded with the paper's calibrated vocabulary
+    /// ("medium young", "about 35", "middle age", "high", …).
+    pub fn with_paper_vocabulary() -> Database {
+        Database {
+            disk: SimDisk::with_default_page_size(),
+            catalog: Catalog::with_paper_vocabulary(),
+            config: ExecConfig::default(),
+            cost: CostModel::default(),
+            persist_path: None,
+            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
+        }
+    }
+
+    /// Wraps an existing catalog + disk (e.g. from `fuzzy_workload`).
+    pub fn from_catalog(catalog: Catalog, disk: SimDisk) -> Database {
+        Database {
+            disk,
+            catalog,
+            config: ExecConfig::default(),
+            cost: CostModel::default(),
+            persist_path: None,
+            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
+        }
+    }
+
+    /// Opens (or creates) a persistent database rooted at `path`: table pages
+    /// live in `<path>.pages` and the catalog manifest in `<path>.manifest`.
+    /// Call [`Database::save`] to persist catalog changes (new tables,
+    /// vocabulary, appended page lists); tuple data writes go straight to the
+    /// page file.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database, EngineError> {
+        let base = path.as_ref();
+        let pages = base.with_extension("pages");
+        let manifest = base.with_extension("manifest");
+        let disk = SimDisk::open_file(&pages, fuzzy_storage::DEFAULT_PAGE_SIZE)?;
+        let catalog = match std::fs::read(&manifest) {
+            Ok(bytes) => fuzzy_rel::manifest::decode(&bytes, &disk)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Catalog::new(),
+            Err(e) => {
+                return Err(EngineError::Storage(fuzzy_storage::StorageError::Corrupt(
+                    format!("cannot read manifest: {e}"),
+                )))
+            }
+        };
+        let mut db = Database::from_catalog(catalog, disk);
+        db.persist_path = Some(manifest);
+        Ok(db)
+    }
+
+    /// Writes the catalog manifest of a database opened with
+    /// [`Database::open`]. Errors for purely in-memory databases.
+    pub fn save(&self) -> Result<(), EngineError> {
+        let path = self.persist_path.as_ref().ok_or_else(|| {
+            EngineError::Unsupported(
+                "this database is in-memory; open it with Database::open to persist".into(),
+            )
+        })?;
+        let bytes = fuzzy_rel::manifest::encode(&self.catalog);
+        std::fs::write(path, bytes).map_err(|e| {
+            EngineError::Storage(fuzzy_storage::StorageError::Corrupt(format!(
+                "cannot write manifest: {e}"
+            )))
+        })
+    }
+
+    /// Defines (or redefines) a linguistic term.
+    pub fn define_term(&mut self, name: impl AsRef<str>, shape: Trapezoid) {
+        self.catalog.vocabulary_mut().define(name, shape);
+    }
+
+    /// Creates an empty table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), EngineError> {
+        if self.catalog.table(name).is_some() {
+            return Err(EngineError::Bind(format!("table {name:?} already exists")));
+        }
+        self.catalog.register(StoredTable::create(&self.disk, name, schema));
+        Ok(())
+    }
+
+    /// Inserts one tuple. Tuples with degree 0 are not members and are
+    /// silently skipped, matching the membership criterion of Section 2.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<(), EngineError> {
+        let t = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
+        if tuple.degree.is_positive() {
+            t.file().append(&tuple.encode(t.min_record_bytes()))?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-loads tuples into a table.
+    pub fn load<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        table: &str,
+        tuples: I,
+    ) -> Result<(), EngineError> {
+        let t = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
+        t.load(tuples)?;
+        Ok(())
+    }
+
+    /// Runs a query with the default strategy (unnest + extended merge-join)
+    /// and returns the answer relation.
+    pub fn query(&self, sql: &str) -> Result<Relation, EngineError> {
+        Ok(self.query_with(sql, Strategy::Unnest)?.answer)
+    }
+
+    /// Runs a query with an explicit strategy, returning the full outcome
+    /// (answer, I/O counters, CPU time, plan label).
+    pub fn query_with(&self, sql: &str, strategy: Strategy) -> Result<QueryOutcome, EngineError> {
+        Engine::new(&self.catalog, &self.disk)
+            .with_config(self.config)
+            .with_statistics(self.statistics.clone())
+            .run_sql(sql, strategy)
+    }
+
+    /// Explains how a query would be evaluated: its classified nesting type
+    /// (Sections 4-8 of the paper) and the unnested plan.
+    pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
+        Engine::new(&self.catalog, &self.disk)
+            .with_config(self.config)
+            .explain(sql)
+    }
+
+    /// The catalog (tables + vocabulary).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (registering externally built tables).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The simulated disk (for I/O accounting in experiments).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Overrides the execution configuration.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+
+    /// The cost model converting I/O counts to time.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Overrides the cost model.
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Reads a full table into memory (debugging/tests).
+    pub fn table_contents(&self, table: &str) -> Result<Relation, EngineError> {
+        let t = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
+        let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
+        Ok(t.to_relation(&pool)?)
+    }
+
+    /// A convenience threshold helper: keeps only rows with degree > `z`.
+    pub fn threshold(rel: &Relation, z: f64) -> Relation {
+        rel.with_threshold(Degree::clamped(z), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy_core::Value;
+    use fuzzy_rel::AttrType;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::with_paper_vocabulary();
+        db.create_table(
+            "PEOPLE",
+            Schema::of(&[("NAME", AttrType::Text), ("AGE", AttrType::Number)]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let mut db = tiny_db();
+        db.insert(
+            "PEOPLE",
+            Tuple::full(vec![Value::text("Ann"), Value::number(24.0)]),
+        )
+        .unwrap();
+        db.insert(
+            "PEOPLE",
+            Tuple::full(vec![Value::text("Zed"), Value::number(70.0)]),
+        )
+        .unwrap();
+        let ans = db
+            .query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'")
+            .unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.tuples()[0].values[0], Value::text("Ann"));
+        assert!((ans.tuples()[0].degree.value() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = tiny_db();
+        let err = db
+            .create_table("people", Schema::of(&[("X", AttrType::Number)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn zero_degree_inserts_skipped() {
+        let mut db = tiny_db();
+        db.insert(
+            "PEOPLE",
+            Tuple::new(vec![Value::text("ghost"), Value::number(1.0)], Degree::ZERO),
+        )
+        .unwrap();
+        assert_eq!(db.table_contents("PEOPLE").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new();
+        assert!(db.query("SELECT X.A FROM X").is_err());
+        let mut db = Database::new();
+        assert!(db
+            .insert("X", Tuple::full(vec![Value::number(1.0)]))
+            .is_err());
+    }
+
+    #[test]
+    fn strategies_agree_via_facade() {
+        let mut db = tiny_db();
+        db.load(
+            "PEOPLE",
+            (0..20).map(|i| {
+                Tuple::full(vec![Value::text(format!("p{i}")), Value::number(20.0 + i as f64)])
+            }),
+        )
+        .unwrap();
+        let sql = "SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'";
+        let a = db.query_with(sql, Strategy::Unnest).unwrap();
+        let b = db.query_with(sql, Strategy::Naive).unwrap();
+        assert_eq!(a.answer.canonicalized(), b.answer.canonicalized());
+        assert!(a.measurement.io.reads > 0);
+    }
+
+    #[test]
+    fn threshold_helper() {
+        let mut db = tiny_db();
+        db.insert(
+            "PEOPLE",
+            Tuple::full(vec![Value::text("Ann"), Value::number(23.0)]),
+        )
+        .unwrap();
+        let ans = db
+            .query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'")
+            .unwrap();
+        assert_eq!(Database::threshold(&ans, 0.5).len(), 1); // degree 0.6
+        assert_eq!(Database::threshold(&ans, 0.65).len(), 0);
+    }
+}
+
+/// The result of [`Database::execute`].
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// A SELECT answer.
+    Rows(Relation),
+    /// Tuples inserted, deleted, or updated.
+    Affected(usize),
+    /// A DDL statement (CREATE TABLE, DEFINE TERM) succeeded.
+    Done,
+}
+
+impl Database {
+    /// Executes one statement: SELECT, CREATE TABLE, DEFINE TERM, INSERT,
+    /// DELETE, or UPDATE (see `fuzzy_sql::statement` for the grammar).
+    ///
+    /// DELETE and UPDATE match tuples whose WHERE-condition degree is
+    /// positive (or meets the statement's `WITH D` threshold); matching is a
+    /// fuzzy condition like any other, so a vague WHERE clause deletes
+    /// precisely the tuples that *possibly* satisfy it above the bar.
+    /// Rewrites allocate fresh pages; old pages are not reclaimed (the
+    /// storage engine has no free list — a documented simplification).
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, EngineError> {
+        use fuzzy_rel::AttrType;
+        use fuzzy_sql::Statement;
+        match fuzzy_sql::parse_statement(sql)? {
+            Statement::Select(q) => {
+                let out = Engine::new(&self.catalog, &self.disk)
+                    .with_config(self.config)
+                    .run(&q, Strategy::Unnest)?;
+                Ok(StatementResult::Rows(out.answer))
+            }
+            Statement::CreateTable { name, columns } => {
+                let attrs: Vec<(String, AttrType)> = columns
+                    .iter()
+                    .map(|c| {
+                        (c.name.clone(), if c.is_text { AttrType::Text } else { AttrType::Number })
+                    })
+                    .collect();
+                let mut schema = Schema::new(
+                    attrs
+                        .iter()
+                        .map(|(n, t)| fuzzy_rel::Attribute::new(n.clone(), *t))
+                        .collect(),
+                );
+                if let Some(key) = columns.iter().find(|c| c.key) {
+                    schema = schema.with_key(&key.name);
+                }
+                self.create_table(&name, schema)?;
+                Ok(StatementResult::Done)
+            }
+            Statement::DefineTerm { name, shape } => {
+                let t = Trapezoid::new(shape.0, shape.1, shape.2, shape.3)
+                    .map_err(EngineError::Fuzzy)?;
+                self.define_term(&name, t);
+                Ok(StatementResult::Done)
+            }
+            Statement::Insert { table, values, degree } => {
+                let stored = self
+                    .catalog
+                    .table(&table)
+                    .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
+                    .clone();
+                if values.len() != stored.schema().len() {
+                    return Err(EngineError::Bind(format!(
+                        "{} values for {} columns of {}",
+                        values.len(),
+                        stored.schema().len(),
+                        stored.name()
+                    )));
+                }
+                let vals = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| self.insert_value(o, stored.schema().attr(i)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let d = Degree::new(degree).map_err(EngineError::Fuzzy)?;
+                self.insert(&table, Tuple::new(vals, d))?;
+                Ok(StatementResult::Affected(usize::from(d.is_positive())))
+            }
+            Statement::Analyze { table } => {
+                let names: Vec<String> = match table {
+                    Some(t) => vec![t],
+                    None => self.catalog.table_names().map(|s| s.to_string()).collect(),
+                };
+                let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
+                let mut built = 0usize;
+                for name in names {
+                    let t = self
+                        .catalog
+                        .table(&name)
+                        .ok_or_else(|| EngineError::Bind(format!("unknown table {name:?}")))?
+                        .clone();
+                    for (idx, attr) in t.schema().attributes().iter().enumerate() {
+                        if attr.ty == AttrType::Number {
+                            self.statistics.histogram_for(&t, idx, &pool)?;
+                            built += 1;
+                        }
+                    }
+                }
+                Ok(StatementResult::Affected(built))
+            }
+            Statement::Delete { table, predicates, threshold } => {
+                self.rewrite_matching(&table, &predicates, threshold, |_t| None)
+            }
+            Statement::Update { table, assignments, predicates, threshold } => {
+                let stored = self
+                    .catalog
+                    .table(&table)
+                    .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
+                    .clone();
+                // Resolve assignment targets and values up front.
+                let mut resolved: Vec<(usize, fuzzy_core::Value)> = Vec::new();
+                for (col, op) in &assignments {
+                    let idx = stored.schema().index_of(&col.column).ok_or_else(|| {
+                        EngineError::Bind(format!("no attribute {} in {}", col.column, table))
+                    })?;
+                    resolved.push((idx, self.insert_value(op, stored.schema().attr(idx))?));
+                }
+                self.rewrite_matching(&table, &predicates, threshold, move |t| {
+                    let mut updated = t.clone();
+                    for (idx, v) in &resolved {
+                        updated.values[*idx] = v.clone();
+                    }
+                    Some(updated)
+                })
+            }
+        }
+    }
+
+    /// Resolves an INSERT/UPDATE value operand against the target column.
+    fn insert_value(
+        &self,
+        o: &fuzzy_sql::Operand,
+        attr: &fuzzy_rel::Attribute,
+    ) -> Result<fuzzy_core::Value, EngineError> {
+        use fuzzy_core::Value;
+        use fuzzy_rel::AttrType;
+        use fuzzy_sql::Operand;
+        Ok(match (o, attr.ty) {
+            (Operand::Number(n), AttrType::Number) => Value::number(*n),
+            (Operand::FuzzyLiteral(a, b, c, d), AttrType::Number) => {
+                Value::fuzzy(Trapezoid::new(*a, *b, *c, *d).map_err(EngineError::Fuzzy)?)
+            }
+            (Operand::Term(t), AttrType::Text) => Value::text(t.clone()),
+            (Operand::Term(t), AttrType::Number) => {
+                let shape = self.catalog.vocabulary().resolve(t).map_err(EngineError::Fuzzy)?;
+                Value::fuzzy(shape)
+            }
+            (other, ty) => {
+                return Err(EngineError::Bind(format!(
+                    "value {other:?} does not fit {ty:?} column {}",
+                    attr.name
+                )))
+            }
+        })
+    }
+
+    /// Shared DELETE/UPDATE machinery: rewrites the table, applying `map` to
+    /// matching tuples (`None` = delete). Returns the number of matches.
+    fn rewrite_matching(
+        &mut self,
+        table: &str,
+        predicates: &[fuzzy_sql::Predicate],
+        threshold: Option<fuzzy_sql::Threshold>,
+        map: impl Fn(&Tuple) -> Option<Tuple>,
+    ) -> Result<StatementResult, EngineError> {
+        let stored = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
+            .clone();
+        let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
+        let evaluator = fuzzy_engine::NaiveEvaluator::new(&self.catalog, &pool);
+        let (z, strict) = match threshold {
+            Some(t) => (Degree::clamped(t.z), t.strict),
+            None => (Degree::ZERO, true),
+        };
+        let mut kept: Vec<Tuple> = Vec::new();
+        let mut affected = 0usize;
+        for t in stored.scan(&pool) {
+            let t = t?;
+            let d = evaluator.match_degree(stored.name(), stored.schema(), &t, predicates)?;
+            if d.meets(z, strict) {
+                affected += 1;
+                if let Some(updated) = map(&t) {
+                    kept.push(updated);
+                }
+            } else {
+                kept.push(t);
+            }
+        }
+        // Rewrite into a fresh file and swap it into the catalog.
+        let fresh = fuzzy_storage::HeapFile::create(&self.disk);
+        {
+            let mut w = fresh.bulk_writer();
+            for t in &kept {
+                w.append(&t.encode(stored.min_record_bytes()))?;
+            }
+            w.finish()?;
+        }
+        self.catalog.register(stored.with_file(stored.name().to_string(), fresh));
+        Ok(StatementResult::Affected(affected))
+    }
+}
