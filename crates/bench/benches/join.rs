@@ -4,6 +4,7 @@
 
 use bench::{build_workload, paper_config, run_leg};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_engine::exec::ExecConfig;
 use fuzzy_engine::Strategy;
 use fuzzy_workload::WorkloadSpec;
 
@@ -27,8 +28,7 @@ fn fanout_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge_join_fanout");
     group.sample_size(10);
     for fanout in [1usize, 8, 32] {
-        let spec =
-            WorkloadSpec { n_outer: 1000, n_inner: 1000, fanout, ..Default::default() };
+        let spec = WorkloadSpec { n_outer: 1000, n_inner: 1000, fanout, ..Default::default() };
         let (catalog, disk) = build_workload(spec);
         group.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
             b.iter(|| run_leg(&catalog, &disk, Strategy::Unnest, paper_config()))
@@ -37,5 +37,19 @@ fn fanout_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, join_methods, fanout_sweep);
+fn thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_join_threads");
+    group.sample_size(10);
+    let spec = WorkloadSpec { n_outer: 2000, n_inner: 2000, fanout: 7, ..Default::default() };
+    let (catalog, disk) = build_workload(spec);
+    for threads in [1usize, 2, 4, 8] {
+        let config = ExecConfig { threads, ..paper_config() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| run_leg(&catalog, &disk, Strategy::Unnest, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_methods, fanout_sweep, thread_sweep);
 criterion_main!(benches);

@@ -66,19 +66,14 @@ fn tuple_codec(c: &mut Criterion) {
     });
     c.bench_function("tuple_decode_128B", |b| {
         b.iter(|| {
-            encoded
-                .iter()
-                .map(|bytes| Tuple::decode(bytes).unwrap().values.len())
-                .sum::<usize>()
+            encoded.iter().map(|bytes| Tuple::decode(bytes).unwrap().values.len()).sum::<usize>()
         })
     });
     c.bench_function("tuple_decode_value_at", |b| {
         b.iter(|| {
             encoded
                 .iter()
-                .filter(|bytes| {
-                    Tuple::decode_value_at(bytes, 1).unwrap().interval().is_some()
-                })
+                .filter(|bytes| Tuple::decode_value_at(bytes, 1).unwrap().interval().is_some())
                 .count()
         })
     });

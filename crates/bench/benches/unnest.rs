@@ -10,14 +10,10 @@ const N: usize = 800;
 
 fn queries() -> Vec<(&'static str, String)> {
     vec![
-        (
-            "type_n",
-            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)".to_string(),
-        ),
+        ("type_n", "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)".to_string()),
         (
             "type_j",
-            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.ID <> R.ID)"
-                .to_string(),
+            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.ID <> R.ID)".to_string(),
         ),
         (
             "type_jx",
@@ -27,18 +23,15 @@ fn queries() -> Vec<(&'static str, String)> {
         ),
         (
             "type_jall",
-            "SELECT R.ID FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.X = R.X)"
-                .to_string(),
+            "SELECT R.ID FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.X = R.X)".to_string(),
         ),
         (
             "type_ja_max",
-            "SELECT R.ID FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.X = R.X)"
-                .to_string(),
+            "SELECT R.ID FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.X = R.X)".to_string(),
         ),
         (
             "type_ja_count",
-            "SELECT R.ID FROM R WHERE 3 > (SELECT COUNT(S.V) FROM S WHERE S.X = R.X)"
-                .to_string(),
+            "SELECT R.ID FROM R WHERE 3 > (SELECT COUNT(S.V) FROM S WHERE S.X = R.X)".to_string(),
         ),
     ]
 }

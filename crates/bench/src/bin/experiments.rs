@@ -3,8 +3,14 @@
 //! ```sh
 //! cargo run -p bench --release --bin experiments -- [--scale S] [--table1]
 //!     [--table2] [--table3] [--table4] [--fig1] [--fig2] [--fig3]
-//!     [--ablation-dangling] [--page-io-ms MS] [--nl-pair-budget N] [--all]
+//!     [--ablation-dangling] [--page-io-ms MS] [--nl-pair-budget N]
+//!     [--threads T] [--parallel] [--all]
 //! ```
+//!
+//! `--threads T` sets the worker-thread count every merge-join leg runs
+//! with (default 1, the serial engine). `--parallel` sweeps the scale-8
+//! type J leg over 1/2/4/8 threads and writes the machine-readable
+//! `BENCH_parallel.json` next to the working directory.
 //!
 //! With `--scale S` every tuple count is divided by `S` (default 8, so the
 //! suite completes in minutes; `--scale 1` reproduces the paper's exact
@@ -24,20 +30,21 @@ struct Args {
     scale: usize,
     page_io_ms: u64,
     nl_pair_budget: u64,
+    threads: usize,
     run: Vec<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        scale: 8,
-        page_io_ms: 1,
-        nl_pair_budget: 150_000_000,
-        run: Vec::new(),
-    };
+    let mut args =
+        Args { scale: 8, page_io_ms: 1, nl_pair_budget: 150_000_000, threads: 1, run: Vec::new() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => args.scale = it.next().expect("--scale N").parse().expect("number"),
+            "--threads" => {
+                args.threads =
+                    it.next().expect("--threads T").parse::<usize>().expect("number").max(1)
+            }
             "--page-io-ms" => {
                 args.page_io_ms = it.next().expect("--page-io-ms MS").parse().expect("number")
             }
@@ -63,9 +70,14 @@ fn wants(args: &Args, name: &str) -> bool {
 /// The paper's 2 MB buffer scaled with the workload, preserving the
 /// buffer-to-relation ratio (what drives the sort-pass counts and the
 /// nested-loop block size).
-fn scaled_config(scale: usize) -> ExecConfig {
-    let pages = (256 / scale.max(1)).max(8);
-    ExecConfig { buffer_pages: pages, sort_pages: pages, ..Default::default() }
+fn scaled_config(args: &Args) -> ExecConfig {
+    let pages = (256 / args.scale.max(1)).max(8);
+    ExecConfig {
+        buffer_pages: pages,
+        sort_pages: pages,
+        threads: args.threads,
+        ..Default::default()
+    }
 }
 
 fn main() {
@@ -111,6 +123,82 @@ fn main() {
     if wants(&args, "ablation-materialized") {
         ablation_materialized(&args, &model);
     }
+    if wants(&args, "parallel") {
+        parallel_sweep(&args);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep: the scale-8 type J leg across worker threads
+// ---------------------------------------------------------------------------
+
+fn parallel_sweep(args: &Args) {
+    use std::time::Instant;
+    println!("## Parallel — type J leg across worker threads (exact-equality");
+    println!("   parallelism: answers and all cost counters are identical to");
+    println!("   threads = 1; only wall time changes)\n");
+    let n = 8 * 8000 / args.scale.max(1);
+    let spec = WorkloadSpec {
+        n_outer: n,
+        n_inner: n,
+        tuple_bytes: 128,
+        fanout: 7,
+        seed: 8000 + args.scale as u64,
+        ..Default::default()
+    };
+    let (catalog, disk) = build_workload(spec);
+    println!(
+        "{:>8} {:>12} {:>14} {:>8} {:>8} {:>12} {:>8}",
+        "threads", "wall (s)", "sort CPU (s)", "reads", "writes", "pairs", "rows"
+    );
+    let mut legs = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let config = ExecConfig { threads, ..scaled_config(args) };
+        let started = Instant::now();
+        let leg = run_leg(&catalog, &disk, Strategy::Unnest, config);
+        let wall = started.elapsed();
+        println!(
+            "{:>8} {:>12.3} {:>14.3} {:>8} {:>8} {:>12} {:>8}",
+            threads,
+            wall.as_secs_f64(),
+            leg.sort_cpu.as_secs_f64(),
+            leg.io.reads,
+            leg.io.writes,
+            leg.pairs,
+            leg.answer_rows
+        );
+        legs.push((threads, wall, leg));
+    }
+    // Machine-readable dump (hand-rolled JSON: the build is offline and the
+    // numbers are flat).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"query\": \"type_j\", \"n_outer\": {n}, \"n_inner\": {n}, \
+         \"tuple_bytes\": 128, \"fanout\": 7, \"scale\": {}, \"seed\": {}}},\n",
+        args.scale, spec.seed
+    ));
+    json.push_str("  \"legs\": [\n");
+    for (i, (threads, wall, leg)) in legs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"sort_cpu_secs\": {:.6}, \
+             \"reads\": {}, \"writes\": {}, \"sort_io\": {}, \"pairs\": {}, \
+             \"answer_rows\": {}}}{}\n",
+            threads,
+            wall.as_secs_f64(),
+            leg.sort_cpu.as_secs_f64(),
+            leg.io.reads,
+            leg.io.writes,
+            leg.sort_io,
+            leg.pairs,
+            leg.answer_rows,
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_parallel.json\n"),
+        Err(e) => println!("\ncould not write BENCH_parallel.json: {e}\n"),
+    }
 }
 
 /// A calibration of nested-loop per-pair CPU cost, reused for projections.
@@ -119,13 +207,8 @@ struct NlCalibration {
 }
 
 fn calibrate_nl(tuple_bytes: usize, config: ExecConfig) -> NlCalibration {
-    let spec = WorkloadSpec {
-        n_outer: 2000,
-        n_inner: 2000,
-        tuple_bytes,
-        fanout: 7,
-        ..Default::default()
-    };
+    let spec =
+        WorkloadSpec { n_outer: 2000, n_inner: 2000, tuple_bytes, fanout: 7, ..Default::default() };
     let (catalog, disk) = build_workload(spec);
     let leg = run_leg(&catalog, &disk, Strategy::NestedLoop, config);
     NlCalibration { per_pair: leg.cpu / (leg.pairs.max(1) as u32) }
@@ -177,12 +260,7 @@ fn fig1() {
     println!("{:>5} {:>14} {:>10}", "age", "medium_young", "about_35");
     let mut x = 18.0;
     while x <= 42.0 {
-        println!(
-            "{:>5} {:>14.2} {:>10.2}",
-            x,
-            my.membership(x).value(),
-            a35.membership(x).value()
-        );
+        println!("{:>5} {:>14.2} {:>10.2}", x, my.membership(x).value(), a35.membership(x).value());
         x += 1.0;
     }
     let d = fuzzy_core::possibility(&my, fuzzy_core::CmpOp::Eq, &a35);
@@ -201,10 +279,7 @@ fn fig2() {
     let catalog = fuzzy_workload::paper::dating_service(&disk).unwrap();
     let engine = Engine::new(&catalog, &disk);
     let t = engine
-        .run_sql(
-            "SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'",
-            Strategy::Unnest,
-        )
+        .run_sql("SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'", Strategy::Unnest)
         .unwrap();
     println!("T (inner block):\n{}", t.answer);
     let answer = engine
@@ -225,12 +300,9 @@ fn table1(args: &Args, model: &CostModel) {
     println!("## Table 1 — response time (s), both relations 1→32 MB, C = 7");
     println!("   (paper: NL 501/1965/7754/30879/—/—; MJ 40/84/223/852/1897/3733;");
     println!("    speedup 12.5/23.4/34.8/36.2; * = projected beyond the pair budget)\n");
-    let config = scaled_config(args.scale);
+    let config = scaled_config(args);
     let cal = calibrate_nl(128, config);
-    println!(
-        "{:<16} {:>10} {:>10} {:>8}",
-        "relation size", "nested", "merge", "speedup"
-    );
+    println!("{:<16} {:>10} {:>10} {:>8}", "relation size", "nested", "merge", "speedup");
     for mb in [1usize, 2, 4, 8, 16, 32] {
         let n = mb * 8000 / args.scale;
         let spec = WorkloadSpec {
@@ -263,14 +335,11 @@ fn table1(args: &Args, model: &CostModel) {
 fn table2_and_3(args: &Args, model: &CostModel) {
     println!("## Table 2 — outer fixed 4 MB, inner 2→16 MB (paper: NL grows");
     println!("   linearly 3912→31049; MJ 156→2152; speedup peaks at 4 MB)\n");
-    let config = scaled_config(args.scale);
+    let config = scaled_config(args);
     let cal = calibrate_nl(128, config);
     let n_outer = 4 * 8000 / args.scale;
     let mut breakdown: Vec<(usize, f64, f64)> = Vec::new();
-    println!(
-        "{:<16} {:>10} {:>10} {:>8}",
-        "inner size", "nested", "merge", "speedup"
-    );
+    println!("{:<16} {:>10} {:>10} {:>8}", "inner size", "nested", "merge", "speedup");
     for mb in [2usize, 4, 8, 16] {
         let n_inner = mb * 8000 / args.scale;
         let spec = WorkloadSpec {
@@ -318,11 +387,8 @@ fn table4(args: &Args, model: &CostModel) {
     println!("   Runs at the paper's true n = 8000 regardless of --scale");
     println!("   (the nested loop is 64M pairs, feasible on a modern CPU).\n");
     let n = 8000;
-    let config = paper_config();
-    println!(
-        "{:<12} {:>10} {:>10} {:>8}",
-        "tuple bytes", "nested", "merge", "speedup"
-    );
+    let config = ExecConfig { threads: args.threads, ..paper_config() };
+    println!("{:<12} {:>10} {:>10} {:>8}", "tuple bytes", "nested", "merge", "speedup");
     for tuple_bytes in [128usize, 256, 512, 1024, 2048] {
         let spec = WorkloadSpec {
             n_outer: n,
@@ -370,7 +436,7 @@ fn fig3(args: &Args, model: &CostModel) {
             ..Default::default()
         };
         let (catalog, disk) = build_workload(spec);
-        let mj = run_leg(&catalog, &disk, Strategy::Unnest, scaled_config(args.scale));
+        let mj = run_leg(&catalog, &disk, Strategy::Unnest, scaled_config(args));
         println!(
             "{:>5} {:>10} {:>12.2} {:>14.2} {:>12} {:>10}",
             c,
@@ -393,10 +459,7 @@ fn ablation_dangling(args: &Args) {
     println!("   (Section 3: wide supports put tuples in the window that never");
     println!("    join; the merge-join degrades toward quadratic scanning)\n");
     let n = 16000 / args.scale.max(1);
-    println!(
-        "{:>10} {:>12} {:>14} {:>10}",
-        "vagueness", "pairs", "positive joins", "waste %"
-    );
+    println!("{:>10} {:>12} {:>14} {:>10}", "vagueness", "pairs", "positive joins", "waste %");
     // A flat join projecting both keys: the answer cardinality counts the
     // pairs that actually join positively, so waste = dangling fraction.
     let sql = "SELECT R.ID, S.ID FROM R, S WHERE R.X = S.X";
@@ -411,7 +474,7 @@ fn ablation_dangling(args: &Args) {
             ..Default::default()
         };
         let (catalog, disk) = build_workload(spec);
-        let mj = run_leg_sql(&catalog, &disk, Strategy::Unnest, scaled_config(args.scale), sql);
+        let mj = run_leg_sql(&catalog, &disk, Strategy::Unnest, scaled_config(args), sql);
         let useful = mj.answer_rows.max(1);
         println!(
             "{:>10.2} {:>12} {:>14} {:>9.1}%",
@@ -479,12 +542,24 @@ fn ablation_join_order(args: &Args) {
     // A big outer table and two small inner ones; the FROM order starts big.
     let big = fuzzy_workload::generate(
         &disk,
-        WorkloadSpec { n_outer: 16000 / scale, n_inner: 1000 / scale, fanout: 4, seed: 5, ..Default::default() },
+        WorkloadSpec {
+            n_outer: 16000 / scale,
+            n_inner: 1000 / scale,
+            fanout: 4,
+            seed: 5,
+            ..Default::default()
+        },
     )
     .unwrap();
     let small = fuzzy_workload::generate(
         &disk,
-        WorkloadSpec { n_outer: 800 / scale, n_inner: 800 / scale, fanout: 4, seed: 6, ..Default::default() },
+        WorkloadSpec {
+            n_outer: 800 / scale,
+            n_inner: 800 / scale,
+            fanout: 4,
+            seed: 6,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut catalog = Catalog::new();
@@ -502,6 +577,7 @@ fn ablation_join_order(args: &Args) {
             buffer_pages: 64,
             sort_pages: 64,
             reorder_joins: reorder,
+            threads: args.threads,
             ..Default::default()
         });
         let out = engine.run_sql(sql, Strategy::Unnest).unwrap();
@@ -538,15 +614,13 @@ fn ablation_threshold(args: &Args) {
         ..Default::default()
     };
     let (catalog, disk) = build_workload(spec);
-    println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>8}",
-        "z", "pushdown", "pairs", "sort cmps", "rows"
-    );
+    println!("{:>6} {:>10} {:>12} {:>12} {:>8}", "z", "pushdown", "pairs", "sort cmps", "rows");
     for z in ["0", "0.5", "0.9"] {
         let sql = format!("SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > {z}");
         for pushdown in [false, true] {
             let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
                 threshold_pushdown: pushdown,
+                threads: args.threads,
                 ..Default::default()
             });
             let out = engine.run_sql(&sql, Strategy::Unnest).unwrap();
@@ -596,6 +670,7 @@ fn ablation_join_method(args: &Args) {
                 buffer_pages: 32,
                 sort_pages: 32,
                 join_method: method,
+                threads: args.threads,
                 ..Default::default()
             });
             let out = engine.run_sql(bench::TYPE_J_SQL, Strategy::Unnest).unwrap();
@@ -638,7 +713,7 @@ fn ablation_materialized(args: &Args, model: &CostModel) {
         ("unnest (merge)", Strategy::Unnest),
     ] {
         disk.reset_io();
-        let engine = Engine::new(&catalog, &disk).with_config(scaled_config(args.scale));
+        let engine = Engine::new(&catalog, &disk).with_config(scaled_config(args));
         let out = engine.run_sql(sql, strategy).unwrap();
         println!(
             "{:<18} {:>9} {:>9} {:>12} {:>12.2}",

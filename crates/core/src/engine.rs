@@ -79,6 +79,14 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Sets the worker-thread count for external sorts and flat merge-joins
+    /// (see [`ExecConfig::threads`]). Any value returns bit-identical answers
+    /// and identical cost counters; `1` is the serial path.
+    pub fn with_threads(mut self, threads: usize) -> Engine<'a> {
+        self.config.threads = threads.max(1);
+        self
+    }
+
     /// The configuration in effect.
     pub fn config(&self) -> ExecConfig {
         self.config
@@ -132,9 +140,7 @@ impl<'a> Engine<'a> {
                 fuzzy_sql::OrderKey::Degree => answer.ordered_by_degree(order.descending),
                 fuzzy_sql::OrderKey::Column(c) => {
                     let idx = answer.schema().index_of(&c.column).ok_or_else(|| {
-                        EngineError::Bind(format!(
-                            "ORDER BY column {c} not in the select list"
-                        ))
+                        EngineError::Bind(format!("ORDER BY column {c} not in the select list"))
                     })?;
                     answer.ordered_by_column(idx, order.descending)
                 }
@@ -145,12 +151,7 @@ impl<'a> Engine<'a> {
         }
         let cpu = start.elapsed();
         let io = self.disk.io().since(&io_before);
-        Ok(QueryOutcome {
-            answer,
-            measurement: Measurement { io, cpu },
-            exec_stats,
-            plan_label,
-        })
+        Ok(QueryOutcome { answer, measurement: Measurement { io, cpu }, exec_stats, plan_label })
     }
 
     /// Explains how a query would be evaluated under `Strategy::Unnest`:

@@ -22,13 +22,12 @@
 use crate::error::{EngineError, Result};
 use crate::naive::apply_aggregate;
 use crate::plan::{
-    AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable,
-    UnnestPlan,
+    AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable, UnnestPlan,
 };
 use fuzzy_core::{interval_order, CmpOp, Degree, Value};
 use fuzzy_rel::{Attribute, Relation, Schema, StoredTable, Tuple};
 use fuzzy_sql::{AggFunc, Threshold};
-use fuzzy_storage::{external_sort, BufferPool, SimDisk, SortStats};
+use fuzzy_storage::{external_sort_parallel, BufferPool, SimDisk, SortStats};
 use std::collections::{HashMap, VecDeque};
 
 /// Execution configuration: the buffer and sort memory budgets, in pages.
@@ -49,6 +48,12 @@ pub struct ExecConfig {
     pub threshold_pushdown: bool,
     /// Which physical algorithm drives flat equi-join steps.
     pub join_method: JoinMethod,
+    /// Worker threads for external-sort run generation and the flat
+    /// merge-join's per-pair degree computation. `1` (the default) is the
+    /// serial path; any value produces bit-identical answers and identical
+    /// I/O / comparison / pair counters, trading memory for wall time (see
+    /// DESIGN.md, "Parallel execution").
+    pub threads: usize,
 }
 
 /// Physical algorithms for a flat equi-join step.
@@ -70,6 +75,7 @@ impl Default for ExecConfig {
             reorder_joins: true,
             threshold_pushdown: true,
             join_method: JoinMethod::default(),
+            threads: 1,
         }
     }
 }
@@ -238,11 +244,8 @@ impl Layout {
         let mut idx = Vec::new();
         for c in select {
             let i = self.resolve(c)?;
-            let (_, schema) = self
-                .parts
-                .iter()
-                .find(|(b, _)| b == &c.binding)
-                .expect("resolve succeeded");
+            let (_, schema) =
+                self.parts.iter().find(|(b, _)| b == &c.binding).expect("resolve succeeded");
             let a = schema.attr(c.attr);
             attrs.push(Attribute::new(a.name.clone(), a.ty));
             idx.push(i);
@@ -291,12 +294,7 @@ impl Executor {
     /// A fresh temp table with the same schema/padding as `like`.
     pub(crate) fn make_temp(&mut self, tag: &str, like: &StoredTable) -> StoredTable {
         let name = self.temp_name(tag);
-        StoredTable::create_padded(
-            &self.disk,
-            name,
-            like.schema().clone(),
-            like.min_record_bytes(),
-        )
+        StoredTable::create_padded(&self.disk, name, like.schema().clone(), like.min_record_bytes())
     }
 
     fn pool(&self, frames: usize) -> BufferPool {
@@ -363,15 +361,25 @@ impl Executor {
     /// Sorts a table by the interval order `⪯` of the α-cut intervals on
     /// attribute `attr` (α = 0 is the paper's support order), attributing
     /// its CPU time and I/O to the sort-phase counters.
-    fn sort_table(&mut self, table: &StoredTable, attr: usize, alpha: Degree) -> Result<StoredTable> {
+    fn sort_table(
+        &mut self,
+        table: &StoredTable,
+        attr: usize,
+        alpha: Degree,
+    ) -> Result<StoredTable> {
         let io_before = self.disk.io();
         let started = std::time::Instant::now();
-        let (file, stats) =
-            external_sort(&self.disk, table.file(), self.config.sort_pages, move |a, b| {
+        let (file, stats) = external_sort_parallel(
+            &self.disk,
+            table.file(),
+            self.config.sort_pages,
+            self.config.threads,
+            move |a, b| {
                 let va = Tuple::decode_value_at(a, attr).expect("sortable record");
                 let vb = Tuple::decode_value_at(b, attr).expect("sortable record");
                 interval_order::cmp_values_at(&va, &vb, alpha)
-            })?;
+            },
+        )?;
         self.stats.sort_cpu += started.elapsed();
         let io = self.disk.io().since(&io_before);
         self.stats.sort_reads += io.reads;
@@ -420,9 +428,7 @@ impl Executor {
                 let after = match inner_scan.peek() {
                     None => break,
                     Some(Err(_)) => true, // force the error out below
-                    Some(Ok(s)) => {
-                        interval_order::strictly_after_at(&s.values[iattr], rv, alpha)
-                    }
+                    Some(Ok(s)) => interval_order::strictly_after_at(&s.values[iattr], rv, alpha),
                 };
                 if after {
                     if let Some(Err(_)) = inner_scan.peek() {
@@ -443,6 +449,146 @@ impl Executor {
             visit(&r, slice, &mut stats)?;
         }
         self.stats = stats;
+        Ok(())
+    }
+
+    /// Interval-partitioned parallel flat merge-join (the `threads > 1` path
+    /// of [`JoinMethod::Merge`]).
+    ///
+    /// Phase 1 replays the *serial* `merge_window` scan — same pools, same
+    /// window maintenance, same `pairs_examined` / `max_window` accounting —
+    /// but records, per outer tuple, the indices of its `Rng(r)` window
+    /// instead of evaluating degrees on the spot. Because the inner scan
+    /// stops at exactly the tuple the serial scan would stop at, physical
+    /// read counts are identical to the serial join.
+    ///
+    /// Phase 2 partitions the outer (already sorted by `⪯`) into `threads`
+    /// contiguous chunks balanced by their window pair counts. Each chunk's
+    /// recorded windows cover the full `Rng(r)` of its outers — a window can
+    /// span chunk boundaries, so workers read overlapping slices of the
+    /// inner; no pair is lost at a cut. Workers evaluate the pure
+    /// `pair_degree` for their pairs in outer order.
+    ///
+    /// Phase 3 concatenates the per-chunk emissions in chunk order on the
+    /// calling thread, so the sink observes exactly the serial emission
+    /// sequence (same rows, same degrees, same temp-table bytes).
+    ///
+    /// The tradeoff is memory: the scanned prefix of both relations and the
+    /// window index lists are held in memory for the duration of the join,
+    /// where the serial path holds only the current window.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_join_parallel<D>(
+        &mut self,
+        outer: &StoredTable,
+        oattr: usize,
+        inner: &StoredTable,
+        iattr: usize,
+        alpha: Degree,
+        pair_degree: &D,
+        sink: &mut JoinSink<'_>,
+    ) -> Result<()>
+    where
+        D: Fn(&Tuple, &Tuple) -> Option<Degree> + Sync,
+    {
+        // Phase 1: serial I/O and window replay (identical to merge_window).
+        let opool = self.pool(1);
+        let ipool = self.pool(self.config.buffer_pages.saturating_sub(1).max(1));
+        let mut inner_scan = inner.scan(&ipool).peekable();
+        let mut inner_vec: Vec<Tuple> = Vec::new();
+        let mut outer_vec: Vec<Tuple> = Vec::new();
+        let mut windows: Vec<Vec<u32>> = Vec::new();
+        let mut window: VecDeque<u32> = VecDeque::new();
+        let mut stats = self.stats;
+        for r in outer.scan(&opool) {
+            let r = r?;
+            let rv = &r.values[oattr];
+            while let Some(&front) = window.front() {
+                if interval_order::strictly_before_at(
+                    &inner_vec[front as usize].values[iattr],
+                    rv,
+                    alpha,
+                ) {
+                    window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            loop {
+                let after = match inner_scan.peek() {
+                    None => break,
+                    Some(Err(_)) => true, // force the error out below
+                    Some(Ok(s)) => interval_order::strictly_after_at(&s.values[iattr], rv, alpha),
+                };
+                if after {
+                    if let Some(Err(_)) = inner_scan.peek() {
+                        inner_scan.next().expect("peeked")?;
+                    }
+                    break; // first tuple past Rng(r); keep it for later outers
+                }
+                let s = inner_scan.next().expect("peeked")?;
+                let keep = !interval_order::strictly_before_at(&s.values[iattr], rv, alpha);
+                let idx = u32::try_from(inner_vec.len())
+                    .map_err(|_| EngineError::Unsupported("inner relation too large".into()))?;
+                inner_vec.push(s);
+                if keep {
+                    window.push_back(idx);
+                }
+            }
+            stats.pairs_examined += window.len() as u64;
+            stats.max_window = stats.max_window.max(window.len() as u64);
+            windows.push(window.iter().copied().collect());
+            outer_vec.push(r);
+        }
+        self.stats = stats;
+
+        // Phase 2: contiguous outer chunks balanced by window pair counts.
+        let threads = self.config.threads.min(outer_vec.len()).max(1);
+        let total_pairs: u64 = windows.iter().map(|w| w.len() as u64).sum();
+        let per_chunk = (total_pairs / threads as u64).max(1);
+        let mut chunks: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, w) in windows.iter().enumerate() {
+            acc += w.len() as u64;
+            if acc >= per_chunk && chunks.len() + 1 < threads {
+                chunks.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        chunks.push(start..outer_vec.len());
+
+        let emissions: Vec<Vec<(u32, u32, Degree)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let outer_vec = &outer_vec;
+                    let inner_vec = &inner_vec;
+                    let windows = &windows;
+                    scope.spawn(move || {
+                        let mut out: Vec<(u32, u32, Degree)> = Vec::new();
+                        for i in range {
+                            let r = &outer_vec[i];
+                            for &j in &windows[i] {
+                                if let Some(d) = pair_degree(r, &inner_vec[j as usize]) {
+                                    out.push((i as u32, j, d));
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+        });
+
+        // Phase 3: serial, order-preserving emission.
+        for chunk in emissions {
+            for (i, j, d) in chunk {
+                sink.emit(&outer_vec[i as usize], &inner_vec[j as usize], d)?;
+            }
+        }
         Ok(())
     }
 
@@ -605,37 +751,66 @@ impl Executor {
                         .filter(|(j, _)| *j != pos)
                         .map(|(_, p)| next_layout.bind(p))
                         .collect::<Result<_>>()?;
-                    let handle = |sink: &mut JoinSink<'_>, r: &Tuple, s: &Tuple| -> Result<()> {
+                    // The degree a joined pair contributes, or `None` when it
+                    // cannot reach the answer. Pure (no captured mutable
+                    // state), so the parallel join may evaluate it from worker
+                    // threads. Pairs whose degree already falls below a
+                    // pushed-down `WITH D > z` threshold are pruned here —
+                    // fuzzy AND cannot recover them, and dropping them now
+                    // keeps them out of materialized intermediates and the
+                    // external sorts of later join steps.
+                    let pair_degree = |r: &Tuple, s: &Tuple| -> Option<Degree> {
                         let d_join = r.values[cur_idx].compare(CmpOp::Eq, &s.values[next_idx]);
                         let mut d = r.degree.and(s.degree).and(d_join);
                         if !d.is_positive() {
-                            return Ok(());
+                            return None;
                         }
                         for b in &residuals {
                             d = d.and(b.eval_pair(&r.values, &s.values));
                             if !d.is_positive() {
-                                return Ok(());
+                                return None;
                             }
                         }
-                        sink.emit(r, s, d)
+                        if !d.meets(alpha, false) {
+                            return None;
+                        }
+                        Some(d)
+                    };
+                    let handle = |sink: &mut JoinSink<'_>, r: &Tuple, s: &Tuple| -> Result<()> {
+                        match pair_degree(r, s) {
+                            Some(d) => sink.emit(r, s, d),
+                            None => Ok(()),
+                        }
                     };
                     match self.config.join_method {
                         JoinMethod::Merge => {
                             let sorted_cur = self.sort_table(&current, cur_idx, alpha)?;
                             let sorted_next = self.sort_table(&filtered[i], next_idx, alpha)?;
-                            self.merge_window(
-                                &sorted_cur,
-                                cur_idx,
-                                &sorted_next,
-                                next_idx,
-                                alpha,
-                                |r, rng, _| {
-                                    for s in rng {
-                                        handle(&mut sink, r, s)?;
-                                    }
-                                    Ok(())
-                                },
-                            )?;
+                            if self.config.threads > 1 {
+                                self.merge_join_parallel(
+                                    &sorted_cur,
+                                    cur_idx,
+                                    &sorted_next,
+                                    next_idx,
+                                    alpha,
+                                    &pair_degree,
+                                    &mut sink,
+                                )?;
+                            } else {
+                                self.merge_window(
+                                    &sorted_cur,
+                                    cur_idx,
+                                    &sorted_next,
+                                    next_idx,
+                                    alpha,
+                                    |r, rng, _| {
+                                        for s in rng {
+                                            handle(&mut sink, r, s)?;
+                                        }
+                                        Ok(())
+                                    },
+                                )?;
+                            }
                         }
                         JoinMethod::Partitioned => {
                             let cur = current.clone();
@@ -653,10 +828,8 @@ impl Executor {
                 }
                 None => {
                     // No equality driver: block-nested-loop fallback.
-                    let residuals: Vec<BoundCompare> = evaluable
-                        .iter()
-                        .map(|p| next_layout.bind(p))
-                        .collect::<Result<_>>()?;
+                    let residuals: Vec<BoundCompare> =
+                        evaluable.iter().map(|p| next_layout.bind(p)).collect::<Result<_>>()?;
                     let inner = filtered[i].clone();
                     self.block_nested_loop(
                         &current,
@@ -673,7 +846,9 @@ impl Executor {
                                     return Ok(());
                                 }
                             }
-                            sink.emit(r, s, d)?;
+                            if d.meets(alpha, false) {
+                                sink.emit(r, s, d)?;
+                            }
                             Ok(())
                         },
                         |_, _| Ok(()),
@@ -736,19 +911,26 @@ impl Executor {
                 // is exact (this is what makes JX'/JALL' merge-joinable).
                 // No threshold push-down here: low-degree pairs still lower
                 // the MIN(D) group degree.
-                self.merge_window(&sorted_o, ocol.attr, &sorted_i, icol.attr, Degree::ZERO, |r, rng, _| {
-                    let mut acc = r.degree;
-                    for s in rng {
-                        acc = acc.and(contribution(r, s));
-                        if !acc.is_positive() {
-                            break;
+                self.merge_window(
+                    &sorted_o,
+                    ocol.attr,
+                    &sorted_i,
+                    icol.attr,
+                    Degree::ZERO,
+                    |r, rng, _| {
+                        let mut acc = r.degree;
+                        for s in rng {
+                            acc = acc.and(contribution(r, s));
+                            if !acc.is_positive() {
+                                break;
+                            }
                         }
-                    }
-                    if acc.is_positive() {
-                        rows.push((project(r, &select_idx), acc));
-                    }
-                    Ok(())
-                })?;
+                        if acc.is_positive() {
+                            rows.push((project(r, &select_idx), acc));
+                        }
+                        Ok(())
+                    },
+                )?;
             }
             None => {
                 // Scan fallback (uncorrelated NOT IN / ALL): the inner set is
@@ -802,28 +984,27 @@ impl Executor {
 
         // Applies R.Y op1 A to one outer tuple, honouring the COUNT
         // outer-join IF-THEN-ELSE for empty groups.
-        let emit_outer = |r: &Tuple,
-                          group: Option<&(Value, Degree)>,
-                          rows: &mut Vec<(Vec<Value>, Degree)>| {
-            let lhs_val = match &lhs_bound.lhs {
-                BoundOperand::Col(i) => r.values[*i].clone(),
-                BoundOperand::Const(v) => v.clone(),
-            };
-            let d = match group {
-                Some((a, da)) => r.degree.and(*da).and(lhs_val.compare(op1, a)),
-                None => {
-                    if agg == AggFunc::Count {
-                        // COUNT': [R.Y op1 T2.A : R.Y op1 0] — the ELSE branch.
-                        r.degree.and(lhs_val.compare(op1, &Value::number(0.0)))
-                    } else {
-                        Degree::ZERO // NULL aggregate satisfies nothing
+        let emit_outer =
+            |r: &Tuple, group: Option<&(Value, Degree)>, rows: &mut Vec<(Vec<Value>, Degree)>| {
+                let lhs_val = match &lhs_bound.lhs {
+                    BoundOperand::Col(i) => r.values[*i].clone(),
+                    BoundOperand::Const(v) => v.clone(),
+                };
+                let d = match group {
+                    Some((a, da)) => r.degree.and(*da).and(lhs_val.compare(op1, a)),
+                    None => {
+                        if agg == AggFunc::Count {
+                            // COUNT': [R.Y op1 T2.A : R.Y op1 0] — the ELSE branch.
+                            r.degree.and(lhs_val.compare(op1, &Value::number(0.0)))
+                        } else {
+                            Degree::ZERO // NULL aggregate satisfies nothing
+                        }
                     }
+                };
+                if d.is_positive() {
+                    rows.push((project(r, &select_idx), d));
                 }
             };
-            if d.is_positive() {
-                rows.push((project(r, &select_idx), d));
-            }
-        };
 
         match &plan.corr {
             None => {
@@ -856,8 +1037,13 @@ impl Executor {
                     let vattr = vcol.attr;
                     let agg_degree = plan.agg_degree;
                     let mut agg_err: Option<EngineError> = None;
-                    let merge_res =
-                        self.merge_window(&sorted_o, uattr, &sorted_i, vattr, Degree::ZERO, |r, rng, _| {
+                    let merge_res = self.merge_window(
+                        &sorted_o,
+                        uattr,
+                        &sorted_i,
+                        vattr,
+                        Degree::ZERO,
+                        |r, rng, _| {
                             let u = &r.values[uattr];
                             let hit = matches!(&cache, Some((cu, _)) if cu == u);
                             if !hit {
@@ -865,8 +1051,7 @@ impl Executor {
                                 for s in rng {
                                     // μ_T'(u)(z) = max min(μ_S∧p₂, d(s.V = u));
                                     // op2 = Eq here.
-                                    let d =
-                                        s.degree.and(s.values[vattr].compare(CmpOp::Eq, u));
+                                    let d = s.degree.and(s.values[vattr].compare(CmpOp::Eq, u));
                                     if d.is_positive() {
                                         set.add(s.values[agg_idx].clone(), d);
                                     }
@@ -882,7 +1067,8 @@ impl Executor {
                             let group = cache.as_ref().expect("just set").1.as_ref();
                             emit_outer(r, group, &mut rows);
                             Ok(())
-                        });
+                        },
+                    );
                     if let Some(e) = agg_err {
                         return Err(e);
                     }
@@ -904,8 +1090,7 @@ impl Executor {
                             let mut set = GroupSet::default();
                             for s in &inner_all {
                                 stats.pairs_examined += 1;
-                                let d =
-                                    s.degree.and(s.values[vcol.attr].compare(*op2, u));
+                                let d = s.degree.and(s.values[vcol.attr].compare(*op2, u));
                                 if d.is_positive() {
                                     set.add(s.values[agg_idx].clone(), d);
                                 }
@@ -927,14 +1112,8 @@ impl Executor {
 /// on the final step — the projected answer rows (the paper's pipelined
 /// insertion of `r.X` into the answer during the join).
 enum JoinSink<'a> {
-    Materialize {
-        out: StoredTable,
-        w: fuzzy_storage::file::BulkWriter,
-    },
-    Stream {
-        select_idx: &'a [usize],
-        rows: &'a mut Vec<(Vec<Value>, Degree)>,
-    },
+    Materialize { out: StoredTable, w: fuzzy_storage::file::BulkWriter },
+    Stream { select_idx: &'a [usize], rows: &'a mut Vec<(Vec<Value>, Degree)> },
 }
 
 impl JoinSink<'_> {
@@ -1009,8 +1188,7 @@ impl GroupSet {
         }
         let refs: Vec<&Value> = self.order.iter().collect();
         let value = apply_aggregate(agg, &refs)?.expect("non-empty or COUNT");
-        let member_degrees: Vec<Degree> =
-            self.order.iter().map(|v| self.degrees[v]).collect();
+        let member_degrees: Vec<Degree> = self.order.iter().map(|v| self.degrees[v]).collect();
         Ok(Some((value, agg_degree.of_group(&member_degrees))))
     }
 }
@@ -1073,9 +1251,7 @@ mod tests {
         let schema = layout.to_schema();
         assert_eq!(schema.len(), 4);
         assert_eq!(schema.attr(3).name, "S.X");
-        let (proj, idx) = layout
-            .projection(&[PlanCol { binding: "S".into(), attr: 1 }])
-            .unwrap();
+        let (proj, idx) = layout.projection(&[PlanCol { binding: "S".into(), attr: 1 }]).unwrap();
         assert_eq!(proj.attr(0).name, "X");
         assert_eq!(idx, vec![3]);
     }
@@ -1120,14 +1296,7 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(
-            windows,
-            vec![
-                (0.0, vec![0.0]),
-                (10.0, vec![9.0]),
-                (20.0, vec![15.0]),
-            ]
-        );
+        assert_eq!(windows, vec![(0.0, vec![0.0]), (10.0, vec![9.0]), (20.0, vec![15.0]),]);
         assert_eq!(ex.stats.pairs_examined, 3);
     }
 
@@ -1183,36 +1352,22 @@ mod tests {
         g.add(Value::number(7.0), Degree::new(0.5).unwrap());
         g.add(Value::Null, Degree::ONE); // NULLs are ignored
         g.add(Value::number(9.0), Degree::ZERO); // non-members are ignored
-        let (count, d) = g
-            .aggregate(AggFunc::Count, crate::plan::AggDegree::One)
-            .unwrap()
-            .unwrap();
+        let (count, d) = g.aggregate(AggFunc::Count, crate::plan::AggDegree::One).unwrap().unwrap();
         assert_eq!(count, Value::number(2.0));
         assert_eq!(d, Degree::ONE);
-        let (sum, _) = g
-            .aggregate(AggFunc::Sum, crate::plan::AggDegree::One)
-            .unwrap()
-            .unwrap();
+        let (sum, _) = g.aggregate(AggFunc::Sum, crate::plan::AggDegree::One).unwrap().unwrap();
         assert_eq!(sum, Value::number(12.0));
         // Mean-membership degree: (0.8 + 0.5) / 2.
-        let (_, dm) = g
-            .aggregate(AggFunc::Sum, crate::plan::AggDegree::MeanMembership)
-            .unwrap()
-            .unwrap();
+        let (_, dm) =
+            g.aggregate(AggFunc::Sum, crate::plan::AggDegree::MeanMembership).unwrap().unwrap();
         assert!((dm.value() - 0.65).abs() < 1e-12);
     }
 
     #[test]
     fn empty_group_set_aggregates() {
         let g = GroupSet::default();
-        assert!(g
-            .aggregate(AggFunc::Sum, crate::plan::AggDegree::One)
-            .unwrap()
-            .is_none());
-        let (count, _) = g
-            .aggregate(AggFunc::Count, crate::plan::AggDegree::One)
-            .unwrap()
-            .unwrap();
+        assert!(g.aggregate(AggFunc::Sum, crate::plan::AggDegree::One).unwrap().is_none());
+        let (count, _) = g.aggregate(AggFunc::Count, crate::plan::AggDegree::One).unwrap().unwrap();
         assert_eq!(count, Value::number(0.0));
     }
 

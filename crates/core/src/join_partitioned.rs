@@ -218,7 +218,10 @@ mod tests {
         let r = table(&disk, "R", 300, 1);
         let s = table(&disk, "S", 300, 2);
         // A small buffer forces several partitions.
-        let mut ex = Executor::new(&disk, ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() });
+        let mut ex = Executor::new(
+            &disk,
+            ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() },
+        );
         let mut seen = std::collections::HashSet::new();
         ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |rt, st, _| {
             seen.insert((
@@ -253,7 +256,10 @@ mod tests {
         let disk = SimDisk::with_default_page_size();
         let r = table(&disk, "R", 120, 3);
         let s = table(&disk, "S", 120, 4);
-        let mut ex = Executor::new(&disk, ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() });
+        let mut ex = Executor::new(
+            &disk,
+            ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() },
+        );
         ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |rt, st, _| {
             let d = rt.values[1].compare(CmpOp::Eq, &st.values[1]);
             // Window pairs intersect at alpha 0, but the exact degree may

@@ -20,8 +20,7 @@ use crate::error::{EngineError, Result};
 use fuzzy_core::{arith, CmpOp, Degree, Trapezoid, Value, Vocabulary};
 use fuzzy_rel::{AttrType, Attribute, Catalog, Relation, Schema, Tuple};
 use fuzzy_sql::{
-    AggFunc, ColumnRef, HavingOperand, Operand, OrderKey, Predicate, Quantifier, Query,
-    SelectItem,
+    AggFunc, ColumnRef, HavingOperand, Operand, OrderKey, Predicate, Quantifier, Query, SelectItem,
 };
 use fuzzy_storage::BufferPool;
 use std::cell::RefCell;
@@ -130,11 +129,7 @@ impl<'a> NaiveEvaluator<'a> {
         };
         // The WITH clause thresholds the final answer; for z = 0 strict this
         // is the membership criterion already enforced.
-        let mut answer = if z > Degree::ZERO {
-            answer.with_threshold(z, strict)
-        } else {
-            answer
-        };
+        let mut answer = if z > Degree::ZERO { answer.with_threshold(z, strict) } else { answer };
         // ORDER BY / LIMIT are presentation steps on the block's answer.
         if let Some(order) = &q.order_by {
             answer = match &order.key {
@@ -221,9 +216,7 @@ impl<'a> NaiveEvaluator<'a> {
                 single_column(&t)?;
                 let v = resolve_operand_vs_relation(env, lhs, &t, self.catalog.vocabulary())?;
                 let d_in = Degree::any(
-                    t.tuples()
-                        .iter()
-                        .map(|z| z.degree.and(v.compare(CmpOp::Eq, &z.values[0]))),
+                    t.tuples().iter().map(|z| z.degree.and(v.compare(CmpOp::Eq, &z.values[0]))),
                 );
                 Ok(if *negated { d_in.not() } else { d_in })
             }
@@ -234,16 +227,12 @@ impl<'a> NaiveEvaluator<'a> {
                 match quantifier {
                     // d(v op ALL F) = 1 − max_z min(μ_F(z), 1 − d(v op z)); 1 on empty F.
                     Quantifier::All => Ok(Degree::any(
-                        t.tuples()
-                            .iter()
-                            .map(|z| z.degree.and(v.compare(*op, &z.values[0]).not())),
+                        t.tuples().iter().map(|z| z.degree.and(v.compare(*op, &z.values[0]).not())),
                     )
                     .not()),
                     // d(v op SOME F) = max_z min(μ_F(z), d(v op z)); 0 on empty F.
                     Quantifier::Some => Ok(Degree::any(
-                        t.tuples()
-                            .iter()
-                            .map(|z| z.degree.and(v.compare(*op, &z.values[0]))),
+                        t.tuples().iter().map(|z| z.degree.and(v.compare(*op, &z.values[0]))),
                     )),
                 }
             }
@@ -328,11 +317,8 @@ fn aggregate_rows(
     }
 
     // Index where HAVING aggregate inputs start in a captured row.
-    let select_agg_count = q
-        .select
-        .iter()
-        .filter(|i| matches!(i, SelectItem::Aggregate(..)))
-        .count();
+    let select_agg_count =
+        q.select.iter().filter(|i| matches!(i, SelectItem::Aggregate(..))).count();
 
     let mut rel = Relation::empty(schema);
     'group: for key in order {
@@ -344,26 +330,16 @@ fn aggregate_rows(
             match item {
                 SelectItem::Column(c) => {
                     // Must be a group key.
-                    let pos = q
-                        .group_by
-                        .iter()
-                        .position(|g| g == c)
-                        .ok_or_else(|| {
-                            EngineError::Unsupported(format!(
-                                "selected column {c} is not in GROUP BY"
-                            ))
-                        })?;
+                    let pos = q.group_by.iter().position(|g| g == c).ok_or_else(|| {
+                        EngineError::Unsupported(format!("selected column {c} is not in GROUP BY"))
+                    })?;
                     out_values.push(key[pos].clone());
                 }
                 SelectItem::MinDegree => {
                     // MIN(D): the group's degree becomes the minimum member
                     // degree (Query JXT / T1 of Sections 5 and 7).
-                    degree = degree.and(
-                        members
-                            .iter()
-                            .map(|(_, d)| *d)
-                            .fold(Degree::ONE, Degree::and),
-                    );
+                    degree =
+                        degree.and(members.iter().map(|(_, d)| *d).fold(Degree::ONE, Degree::and));
                 }
                 SelectItem::CountStar => {
                     out_values.push(Value::number(members.len() as f64));
@@ -446,11 +422,7 @@ fn having_value(
 
 /// Resolves pending HAVING terms by the partner's runtime type, mirroring
 /// WHERE-clause term binding.
-fn resolve_having_terms(
-    lhs: HavingValue,
-    rhs: HavingValue,
-    vocab: &Vocabulary,
-) -> (Value, Value) {
+fn resolve_having_terms(lhs: HavingValue, rhs: HavingValue, vocab: &Vocabulary) -> (Value, Value) {
     let settle = |v: HavingValue, partner_is_text: bool| -> Value {
         match v {
             HavingValue::Val(v) => v,
@@ -531,10 +503,7 @@ fn resolve_column_or_degree<'e>(env: &'e [Frame], c: &ColumnRef) -> Result<Colum
             if c.is_degree() {
                 return Ok(ColumnValue::Degree(f.tuple.degree));
             }
-            return Err(EngineError::Bind(format!(
-                "no attribute {} in {}",
-                c.column, f.binding
-            )));
+            return Err(EngineError::Bind(format!("no attribute {} in {}", c.column, f.binding)));
         }
         if let Some(idx) = f.schema.index_of(&c.column) {
             return Ok(ColumnValue::Attr(f.tuple.value(idx)));

@@ -43,8 +43,7 @@ fn estimate(t: &crate::plan::PlanTable, stats: Option<&StatsRegistry>) -> f64 {
                     (PlanOperand::Const(v), PlanOperand::Col(c)) => (c, v),
                     _ => return None,
                 };
-                let pool =
-                    fuzzy_storage::BufferPool::new(t.table.file().disk(), 2);
+                let pool = fuzzy_storage::BufferPool::new(t.table.file().disk(), 2);
                 let h = reg.histogram_for(&t.table, col.attr, &pool).ok()?;
                 // Similarity predicates behave like widened equality.
                 let op = p.op;
@@ -71,7 +70,27 @@ pub fn reorder_joins_with(plan: &mut FlatPlan, stats: Option<&StatsRegistry>) ->
         // outer block's relation first preserves the paper's presentation.
         return false;
     }
-    let sizes: Vec<f64> = plan.tables.iter().map(|t| estimate(t, stats)).collect();
+    // A pushed-down `WITH D > z` threshold prunes graded survivors of local
+    // predicates before they are sorted (the executor's filter_scan and join
+    // emission both apply it), so discount each predicate-bearing table by
+    // the mass a threshold removes. Tables without local predicates keep
+    // their full-degree base tuples and are unaffected.
+    let threshold_factor = match plan.threshold {
+        Some(t) => (1.0 - t.z).clamp(0.05, 1.0),
+        None => 1.0,
+    };
+    let sizes: Vec<f64> = plan
+        .tables
+        .iter()
+        .map(|t| {
+            let est = estimate(t, stats);
+            if t.local_preds.is_empty() {
+                est
+            } else {
+                est * threshold_factor
+            }
+        })
+        .collect();
 
     // Adjacency by equality predicates.
     let connected = |bound: &[usize], candidate: usize| -> bool {
@@ -112,12 +131,9 @@ pub fn reorder_joins_with(plan: &mut FlatPlan, stats: Option<&StatsRegistry>) ->
     }
     let mut tables = std::mem::take(&mut plan.tables);
     // Drain in the chosen order without cloning stored tables.
-    let mut slots: Vec<Option<crate::plan::PlanTable>> =
-        tables.drain(..).map(Some).collect();
-    plan.tables = order
-        .into_iter()
-        .map(|i| slots[i].take().expect("each index picked once"))
-        .collect();
+    let mut slots: Vec<Option<crate::plan::PlanTable>> = tables.drain(..).map(Some).collect();
+    plan.tables =
+        order.into_iter().map(|i| slots[i].take().expect("each index picked once")).collect();
     true
 }
 
@@ -131,8 +147,7 @@ mod tests {
 
     fn plan_table(disk: &SimDisk, name: &str, rows: usize, preds: usize) -> PlanTable {
         let t = StoredTable::create(disk, name, Schema::of(&[("X", AttrType::Number)]));
-        t.load((0..rows).map(|i| Tuple::full(vec![Value::number(i as f64)])))
-            .unwrap();
+        t.load((0..rows).map(|i| Tuple::full(vec![Value::number(i as f64)]))).unwrap();
         let local_preds = (0..preds)
             .map(|_| {
                 PlanCompare::new(

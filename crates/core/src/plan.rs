@@ -238,10 +238,9 @@ impl UnnestPlan {
         match self {
             UnnestPlan::Flat(p) => format!("flat-join[{} tables]", p.tables.len()),
             UnnestPlan::Anti(p) => match p.kind {
-                AntiKind::Exclusion => format!(
-                    "anti-exclusion[{}]",
-                    if p.window.is_some() { "merge" } else { "scan" }
-                ),
+                AntiKind::Exclusion => {
+                    format!("anti-exclusion[{}]", if p.window.is_some() { "merge" } else { "scan" })
+                }
                 AntiKind::All { op, .. } => format!(
                     "anti-all[{} {}]",
                     op,
@@ -291,11 +290,7 @@ impl UnnestPlan {
             if !t.local_preds.is_empty() {
                 out.push_str(&format!(
                     ", filter: {}",
-                    t.local_preds
-                        .iter()
-                        .map(|p| p.to_string())
-                        .collect::<Vec<_>>()
-                        .join(" AND ")
+                    t.local_preds.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" AND ")
                 ));
             }
             out.push_str(")\n");

@@ -30,7 +30,12 @@ pub struct Histogram {
 impl Histogram {
     /// Builds a histogram with (up to) `buckets` buckets by scanning the
     /// table once through `pool`.
-    pub fn build(table: &StoredTable, attr: usize, buckets: usize, pool: &BufferPool) -> Result<Histogram> {
+    pub fn build(
+        table: &StoredTable,
+        attr: usize,
+        buckets: usize,
+        pool: &BufferPool,
+    ) -> Result<Histogram> {
         let mut lefts: Vec<f64> = Vec::new();
         let mut widths: Vec<f64> = Vec::new();
         let mut other = 0u64;

@@ -18,8 +18,8 @@
 
 use crate::error::{EngineError, Result};
 use crate::plan::{
-    AggDegree, AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand,
-    PlanTable, UnnestPlan,
+    AggDegree, AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable,
+    UnnestPlan,
 };
 use fuzzy_core::{Value, Vocabulary};
 use fuzzy_rel::{AttrType, Catalog, Schema, StoredTable};
@@ -31,10 +31,7 @@ use fuzzy_sql::{
 pub fn build_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
     match classify(q) {
         QueryClass::Flat => flat_plan(&[q], catalog),
-        QueryClass::TypeN
-        | QueryClass::TypeJ
-        | QueryClass::TypeJSome
-        | QueryClass::Chain(_) => {
+        QueryClass::TypeN | QueryClass::TypeJ | QueryClass::TypeJSome | QueryClass::Chain(_) => {
             let blocks = collect_chain_blocks(q);
             flat_plan(&blocks, catalog)
         }
@@ -85,10 +82,7 @@ impl Scope {
                     continue;
                 }
                 if let Some(attr) = schema.index_of(&c.column) {
-                    return Ok((
-                        PlanCol { binding: binding.clone(), attr },
-                        schema.attr(attr).ty,
-                    ));
+                    return Ok((PlanCol { binding: binding.clone(), attr }, schema.attr(attr).ty));
                 }
                 if c.is_degree() {
                     return Err(EngineError::Unsupported(format!(
@@ -96,16 +90,10 @@ impl Scope {
                          evaluated by the naive strategy"
                     )));
                 }
-                return Err(EngineError::Bind(format!(
-                    "no attribute {} in {}",
-                    c.column, binding
-                )));
+                return Err(EngineError::Bind(format!("no attribute {} in {}", c.column, binding)));
             }
             if let Some(attr) = schema.index_of(&c.column) {
-                return Ok((
-                    PlanCol { binding: binding.clone(), attr },
-                    schema.attr(attr).ty,
-                ));
+                return Ok((PlanCol { binding: binding.clone(), attr }, schema.attr(attr).ty));
             }
         }
         if c.is_degree() {
@@ -121,10 +109,7 @@ impl Scope {
 }
 
 fn lookup_table(catalog: &Catalog, name: &str) -> Result<StoredTable> {
-    catalog
-        .table(name)
-        .cloned()
-        .ok_or_else(|| EngineError::Bind(format!("unknown table {name:?}")))
+    catalog.table(name).cloned().ok_or_else(|| EngineError::Bind(format!("unknown table {name:?}")))
 }
 
 /// Binds a quoted term against its partner's attribute type: text partners
@@ -206,9 +191,7 @@ fn distribute(
 fn block_select_column(q: &Query) -> Result<&ColumnRef> {
     match q.select.as_slice() {
         [SelectItem::Column(c)] => Ok(c),
-        _ => Err(EngineError::Unsupported(
-            "sub-query must select exactly one plain column".into(),
-        )),
+        _ => Err(EngineError::Unsupported("sub-query must select exactly one plain column".into())),
     }
 }
 
@@ -289,8 +272,7 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
                     bound.push(bind_compare(lhs, *op, rhs, &scope, vocab)?);
                 }
                 Predicate::Similar { lhs, rhs, tolerance } => {
-                    let mut b =
-                        bind_compare(lhs, fuzzy_core::CmpOp::Eq, rhs, &scope, vocab)?;
+                    let mut b = bind_compare(lhs, fuzzy_core::CmpOp::Eq, rhs, &scope, vocab)?;
                     b.tolerance = Some(*tolerance);
                     bound.push(b);
                 }
@@ -300,9 +282,8 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
                     // R_i.Y_i = R_{i+1}.X_{i+1} (Theorem 8.1).
                     let inner = &blocks[i + 1];
                     let inner_col = block_select_column(inner)?;
-                    let inner_scope = Scope {
-                        frames: frames[..frames_seen + inner.from.len()].to_vec(),
-                    };
+                    let inner_scope =
+                        Scope { frames: frames[..frames_seen + inner.from.len()].to_vec() };
                     let (rhs_col, rhs_ty) = inner_scope.resolve(inner_col)?;
                     let lhs_bound = bind_operand(lhs, Some(rhs_ty), &scope, vocab)?;
                     bound.push(PlanCompare {
@@ -320,9 +301,8 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
                     // θ SOME unnests like IN with θ in place of equality.
                     let inner = query;
                     let inner_col = block_select_column(inner)?;
-                    let inner_scope = Scope {
-                        frames: frames[..frames_seen + inner.from.len()].to_vec(),
-                    };
+                    let inner_scope =
+                        Scope { frames: frames[..frames_seen + inner.from.len()].to_vec() };
                     let (rhs_col, rhs_ty) = inner_scope.resolve(inner_col)?;
                     let lhs_bound = bind_operand(lhs, Some(rhs_ty), &scope, vocab)?;
                     bound.push(PlanCompare {
@@ -405,8 +385,7 @@ fn two_level(q: &Query, sub: &Query, catalog: &Catalog) -> Result<TwoLevel> {
                 outer.local_preds.push(bind_compare(lhs, *op, rhs, &outer_scope, vocab)?);
             }
             Predicate::Similar { lhs, rhs, tolerance } => {
-                let mut b =
-                    bind_compare(lhs, fuzzy_core::CmpOp::Eq, rhs, &outer_scope, vocab)?;
+                let mut b = bind_compare(lhs, fuzzy_core::CmpOp::Eq, rhs, &outer_scope, vocab)?;
                 b.tolerance = Some(*tolerance);
                 outer.local_preds.push(b);
             }
@@ -443,11 +422,7 @@ fn two_level(q: &Query, sub: &Query, catalog: &Catalog) -> Result<TwoLevel> {
 
 /// Finds the merge-window equality among pair predicates: an `=` between an
 /// outer column and an inner column.
-fn find_window(
-    pair_preds: &[PlanCompare],
-    outer: &str,
-    inner: &str,
-) -> Option<(PlanCol, PlanCol)> {
+fn find_window(pair_preds: &[PlanCompare], outer: &str, inner: &str) -> Option<(PlanCol, PlanCol)> {
     for p in pair_preds {
         if p.op != fuzzy_core::CmpOp::Eq {
             continue;
@@ -470,13 +445,10 @@ fn find_window(
 // ---------------------------------------------------------------------------
 
 fn anti_exclusion_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
-    let (lhs, sub) = match q
-        .predicates
-        .iter()
-        .find_map(|p| match p {
-            Predicate::In { lhs, negated: true, query } => Some((lhs, query.as_ref())),
-            _ => None,
-        }) {
+    let (lhs, sub) = match q.predicates.iter().find_map(|p| match p {
+        Predicate::In { lhs, negated: true, query } => Some((lhs, query.as_ref())),
+        _ => None,
+    }) {
         Some(x) => x,
         None => return Err(EngineError::Unsupported("expected a NOT IN predicate".into())),
     };
@@ -511,13 +483,10 @@ fn anti_exclusion_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
 // ---------------------------------------------------------------------------
 
 fn exists_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
-    let (negated, sub) = match q
-        .predicates
-        .iter()
-        .find_map(|p| match p {
-            Predicate::Exists { negated, query } => Some((*negated, query.as_ref())),
-            _ => None,
-        }) {
+    let (negated, sub) = match q.predicates.iter().find_map(|p| match p {
+        Predicate::Exists { negated, query } => Some((*negated, query.as_ref())),
+        _ => None,
+    }) {
         Some(x) => x,
         None => return Err(EngineError::Unsupported("expected an EXISTS predicate".into())),
     };
@@ -554,15 +523,12 @@ fn exists_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
 // ---------------------------------------------------------------------------
 
 fn anti_all_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
-    let (lhs, op, sub) = match q
-        .predicates
-        .iter()
-        .find_map(|p| match p {
-            Predicate::Quantified { lhs, op, quantifier: Quantifier::All, query } => {
-                Some((lhs, *op, query.as_ref()))
-            }
-            _ => None,
-        }) {
+    let (lhs, op, sub) = match q.predicates.iter().find_map(|p| match p {
+        Predicate::Quantified { lhs, op, quantifier: Quantifier::All, query } => {
+            Some((lhs, *op, query.as_ref()))
+        }
+        _ => None,
+    }) {
         Some(x) => x,
         None => return Err(EngineError::Unsupported("expected an ALL predicate".into())),
     };
@@ -590,13 +556,10 @@ fn anti_all_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
 // ---------------------------------------------------------------------------
 
 fn agg_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
-    let (lhs, op1, sub) = match q
-        .predicates
-        .iter()
-        .find_map(|p| match p {
-            Predicate::AggSubquery { lhs, op, query } => Some((lhs, *op, query.as_ref())),
-            _ => None,
-        }) {
+    let (lhs, op1, sub) = match q.predicates.iter().find_map(|p| match p {
+        Predicate::AggSubquery { lhs, op, query } => Some((lhs, *op, query.as_ref())),
+        _ => None,
+    }) {
         Some(x) => x,
         None => return Err(EngineError::Unsupported("expected an aggregate sub-query".into())),
     };

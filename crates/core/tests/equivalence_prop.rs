@@ -44,8 +44,12 @@ struct Row {
 
 fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
     prop::collection::vec(
-        (arb_value(), arb_value(), arb_value(), arb_degree())
-            .prop_map(|(x, y, u, d)| Row { x, y, u, d }),
+        (arb_value(), arb_value(), arb_value(), arb_degree()).prop_map(|(x, y, u, d)| Row {
+            x,
+            y,
+            u,
+            d,
+        }),
         0..max,
     )
 }
@@ -70,12 +74,7 @@ fn build_catalog(disk: &SimDisk, r: &[Row], s: &[Row], t: &[Row]) -> Catalog {
         table
             .load(rows.iter().enumerate().map(|(i, row)| {
                 Tuple::new(
-                    vec![
-                        Value::number(i as f64),
-                        row.x.clone(),
-                        row.y.clone(),
-                        row.u.clone(),
-                    ],
+                    vec![Value::number(i as f64), row.x.clone(), row.y.clone(), row.u.clone()],
                     row.d,
                 )
             }))

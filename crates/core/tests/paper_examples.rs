@@ -11,24 +11,15 @@ use fuzzy_storage::SimDisk;
 use fuzzy_workload::paper;
 use std::collections::HashMap;
 
-const STRATEGIES: [Strategy; 4] = [
-    Strategy::Naive,
-    Strategy::Unnest,
-    Strategy::NestedLoop,
-    Strategy::MaterializedNestedLoop,
-];
+const STRATEGIES: [Strategy; 4] =
+    [Strategy::Naive, Strategy::Unnest, Strategy::NestedLoop, Strategy::MaterializedNestedLoop];
 
 fn degrees(rel: &Relation) -> HashMap<String, f64> {
     rel.dedup_max()
         .tuples()
         .iter()
         .map(|t| {
-            let key = t
-                .values
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join("|");
+            let key = t.values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|");
             (key, t.degree.value())
         })
         .collect()
@@ -49,10 +40,7 @@ fn assert_same_answers(answers: &[(Strategy, Relation)]) {
         );
         for (k, d) in &reference {
             let g = got.get(k).unwrap_or_else(|| panic!("strategy {s:?} missing row {k}"));
-            assert!(
-                (g - d).abs() < 1e-9,
-                "strategy {s:?} degree mismatch for {k}: {g} vs {d}"
-            );
+            assert!((g - d).abs() < 1e-9, "strategy {s:?} degree mismatch for {k}: {g} vs {d}");
         }
     }
 }
@@ -61,9 +49,8 @@ fn run_all(engine: &Engine<'_>, sql: &str) -> Vec<(Strategy, Relation)> {
     STRATEGIES
         .iter()
         .map(|&s| {
-            let out = engine
-                .run_sql(sql, s)
-                .unwrap_or_else(|e| panic!("{s:?} failed on {sql}: {e}"));
+            let out =
+                engine.run_sql(sql, s).unwrap_or_else(|e| panic!("{s:?} failed on {sql}: {e}"));
             (s, out.answer)
         })
         .collect()
@@ -243,10 +230,7 @@ fn chain_query_three_levels() {
     let naive = engine.run_sql(sql, Strategy::Naive).unwrap();
     let unnest = engine.run_sql(sql, Strategy::Unnest).unwrap();
     assert!(unnest.plan_label.contains("flat-join[3"), "label: {}", unnest.plan_label);
-    assert_same_answers(&[
-        (Strategy::Naive, naive.answer),
-        (Strategy::Unnest, unnest.answer),
-    ]);
+    assert_same_answers(&[(Strategy::Naive, naive.answer), (Strategy::Unnest, unnest.answer)]);
 }
 
 #[test]
@@ -312,10 +296,7 @@ fn appendix_example_crisp_vs_distribution() {
     );
     s.load([
         Tuple::new(vec![Value::number(10.0), Value::text("z1")], Degree::ONE),
-        Tuple::new(
-            vec![Value::number(20.0), Value::text("z1")],
-            Degree::new(0.8).unwrap(),
-        ),
+        Tuple::new(vec![Value::number(20.0), Value::text("z1")], Degree::new(0.8).unwrap()),
     ])
     .unwrap();
     catalog.register(s);

@@ -182,11 +182,8 @@ fn general_shapes_are_rejected() {
 #[test]
 fn reused_bindings_across_levels_are_rejected() {
     let c = catalog();
-    let err = build_plan(
-        &parse("SELECT R.X FROM R WHERE R.Y IN (SELECT R.Y FROM R)").unwrap(),
-        &c,
-    )
-    .unwrap_err();
+    let err = build_plan(&parse("SELECT R.X FROM R WHERE R.Y IN (SELECT R.Y FROM R)").unwrap(), &c)
+        .unwrap_err();
     assert!(matches!(err, EngineError::Unsupported(_)));
 }
 
@@ -205,9 +202,7 @@ fn plan_labels_are_descriptive() {
     assert!(plan("SELECT R.X FROM R WHERE R.Y NOT IN (SELECT S.Y FROM S WHERE S.U = R.U)")
         .label()
         .contains("anti-exclusion[merge]"));
-    assert!(plan("SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Y FROM S)")
-        .label()
-        .contains("scan"));
+    assert!(plan("SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Y FROM S)").label().contains("scan"));
     assert!(plan("SELECT R.X FROM R WHERE R.Y > (SELECT COUNT(S.Y) FROM S WHERE S.U = R.U)")
         .label()
         .contains("COUNT"));
@@ -229,9 +224,9 @@ fn exists_unnests_to_flat_and_not_exists_to_anti() {
 
 #[test]
 fn join_reordering_preserves_answers_on_lopsided_tables() {
+    use fuzzy_core::Value;
     use fuzzy_engine::exec::ExecConfig;
     use fuzzy_engine::{Engine, Strategy};
-    use fuzzy_core::Value;
     use fuzzy_rel::Tuple;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -277,9 +272,9 @@ fn join_reordering_preserves_answers_on_lopsided_tables() {
 
 #[test]
 fn threshold_pushdown_shrinks_windows_without_changing_answers() {
+    use fuzzy_core::{Trapezoid, Value};
     use fuzzy_engine::exec::ExecConfig;
     use fuzzy_engine::{Engine, Strategy};
-    use fuzzy_core::{Trapezoid, Value};
     use fuzzy_rel::Tuple;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -308,10 +303,8 @@ fn threshold_pushdown_shrinks_windows_without_changing_answers() {
     let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > 0.8";
     let mut outcomes = Vec::new();
     for pushdown in [false, true] {
-        let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
-            threshold_pushdown: pushdown,
-            ..Default::default()
-        });
+        let engine = Engine::new(&catalog, &disk)
+            .with_config(ExecConfig { threshold_pushdown: pushdown, ..Default::default() });
         outcomes.push(engine.run_sql(sql, Strategy::Unnest).unwrap());
     }
     assert_eq!(
@@ -326,17 +319,15 @@ fn threshold_pushdown_shrinks_windows_without_changing_answers() {
         outcomes[0].exec_stats.pairs_examined
     );
     // And both agree with the naive reference.
-    let naive = Engine::new(&catalog, &disk)
-        .run_sql(sql, Strategy::Naive)
-        .unwrap();
+    let naive = Engine::new(&catalog, &disk).run_sql(sql, Strategy::Naive).unwrap();
     assert_eq!(outcomes[1].answer.canonicalized(), naive.answer.canonicalized());
 }
 
 #[test]
 fn statistics_aware_ordering_beats_the_blind_heuristic() {
+    use fuzzy_core::Value;
     use fuzzy_engine::exec::ExecConfig;
     use fuzzy_engine::{Engine, StatsRegistry, Strategy};
-    use fuzzy_core::Value;
     use fuzzy_rel::Tuple;
     use std::rc::Rc;
 
@@ -345,7 +336,9 @@ fn statistics_aware_ordering_beats_the_blind_heuristic() {
     // histogram can see that. A is large with a weak predicate.
     let disk = SimDisk::with_default_page_size();
     let mut catalog = Catalog::new();
-    let schema = || Schema::of(&[("ID", AttrType::Number), ("X", AttrType::Number), ("Y", AttrType::Number)]);
+    let schema = || {
+        Schema::of(&[("ID", AttrType::Number), ("X", AttrType::Number), ("Y", AttrType::Number)])
+    };
     for (name, n, ymax) in [("A", 3000usize, 10.0f64), ("B", 1500, 1000.0), ("C", 200, 10.0)] {
         let t = StoredTable::create(&disk, name, schema());
         t.load((0..n).map(|i| {

@@ -64,12 +64,12 @@ pub fn div(x: &Trapezoid, k: f64) -> Result<Trapezoid> {
 /// Fuzzy sum of an iterator of distributions; `None` for an empty input
 /// (matching the paper: `SUM` of an empty fuzzy set is NULL).
 pub fn sum<'a, I: IntoIterator<Item = &'a Trapezoid>>(values: I) -> Option<Trapezoid> {
-    values
-        .into_iter()
-        .fold(None, |acc: Option<Trapezoid>, t| Some(match acc {
+    values.into_iter().fold(None, |acc: Option<Trapezoid>, t| {
+        Some(match acc {
             None => *t,
             Some(s) => add(&s, t),
-        }))
+        })
+    })
 }
 
 /// Fuzzy average: the fuzzy sum divided by the crisp count; `None` for an
@@ -99,15 +99,11 @@ pub fn defuzz_key(t: &Trapezoid) -> f64 {
 fn defuzz_cmp(x: &Trapezoid, y: &Trapezoid) -> std::cmp::Ordering {
     let kx = defuzz_key(x);
     let ky = defuzz_key(y);
-    kx.partial_cmp(&ky)
-        .expect("finite")
-        .then_with(|| {
-            let (xa, xb, xc, xd) = x.breakpoints();
-            let (ya, yb, yc, yd) = y.breakpoints();
-            [xa, xb, xc, xd]
-                .partial_cmp(&[ya, yb, yc, yd])
-                .expect("finite")
-        })
+    kx.partial_cmp(&ky).expect("finite").then_with(|| {
+        let (xa, xb, xc, xd) = x.breakpoints();
+        let (ya, yb, yc, yd) = y.breakpoints();
+        [xa, xb, xc, xd].partial_cmp(&[ya, yb, yc, yd]).expect("finite")
+    })
 }
 
 /// The minimum of an iterator of fuzzy values under the defuzzified order;

@@ -150,8 +150,8 @@ pub fn approximately_equal(x: &Trapezoid, y: &Trapezoid, tol: f64) -> Degree {
         return poss_eq(x, y);
     }
     let (a, b, c, d) = x.breakpoints();
-    let widened = Trapezoid::new(a - tol, b, c, d + tol)
-        .expect("widening preserves breakpoint order");
+    let widened =
+        Trapezoid::new(a - tol, b, c, d + tol).expect("widening preserves breakpoint order");
     poss_eq(&widened, y)
 }
 
@@ -321,14 +321,27 @@ mod tests {
     #[test]
     fn equality_cases() {
         // Overlapping cores: possibility 1.
-        assert_eq!(possibility(&t(0.0, 2.0, 4.0, 6.0), CmpOp::Eq, &t(3.0, 3.5, 9.0, 9.0)), Degree::ONE);
+        assert_eq!(
+            possibility(&t(0.0, 2.0, 4.0, 6.0), CmpOp::Eq, &t(3.0, 3.5, 9.0, 9.0)),
+            Degree::ONE
+        );
         // Disjoint supports: 0.
-        assert_eq!(possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(4.0, 5.0, 6.0, 7.0)), Degree::ZERO);
+        assert_eq!(
+            possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(4.0, 5.0, 6.0, 7.0)),
+            Degree::ZERO
+        );
         // Touching supports at a single point where both memberships are 0.
-        assert_eq!(possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(3.0, 4.0, 5.0, 6.0)), Degree::ZERO);
+        assert_eq!(
+            possibility(&t(0.0, 1.0, 2.0, 3.0), CmpOp::Eq, &t(3.0, 4.0, 5.0, 6.0)),
+            Degree::ZERO
+        );
         // Touching where one side is vertical: rectangle [0,3] meets rising edge at 3.
         assert_eq!(
-            possibility(&Trapezoid::rectangular(0.0, 3.0).unwrap(), CmpOp::Eq, &t(3.0, 4.0, 5.0, 6.0)),
+            possibility(
+                &Trapezoid::rectangular(0.0, 3.0).unwrap(),
+                CmpOp::Eq,
+                &t(3.0, 4.0, 5.0, 6.0)
+            ),
             Degree::ZERO
         );
         // Rectangle edge meets rectangle edge: both memberships 1 at the point.

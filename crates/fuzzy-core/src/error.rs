@@ -72,9 +72,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(FuzzyError::DivisionByZero, FuzzyError::DivisionByZero);
-        assert_ne!(
-            FuzzyError::InvalidDegree(0.5),
-            FuzzyError::InvalidDegree(0.6)
-        );
+        assert_ne!(FuzzyError::InvalidDegree(0.5), FuzzyError::InvalidDegree(0.6));
     }
 }

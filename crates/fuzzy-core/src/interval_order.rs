@@ -166,12 +166,8 @@ mod tests {
 
     #[test]
     fn cross_type_order_is_total() {
-        let mut v = vec![
-            Value::text("zebra"),
-            Value::number(1.0),
-            Value::Null,
-            Value::text("apple"),
-        ];
+        let mut v =
+            vec![Value::text("zebra"), Value::number(1.0), Value::Null, Value::text("apple")];
         v.sort_by(cmp_values);
         assert_eq!(
             v,

@@ -73,10 +73,7 @@ mod tests {
         for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
             let exact = possibility(&my, op, &a35).value();
             let approx = possibility_grid(&my, op, &a35, 400).value();
-            assert!(
-                (exact - approx).abs() < 1e-2,
-                "op {op}: exact {exact} vs grid {approx}"
-            );
+            assert!((exact - approx).abs() < 1e-2, "op {op}: exact {exact} vs grid {approx}");
         }
     }
 
@@ -105,8 +102,14 @@ pub fn similarity_grid(x: &Trapezoid, y: &Trapezoid, tol: f64, resolution: usize
             continue;
         }
         for &yv in &xs {
-            let sim = if tol > 0.0 { (1.0 - (xv - yv).abs() / tol).max(0.0) } else {
-                if xv == yv { 1.0 } else { 0.0 }
+            let sim = if tol > 0.0 {
+                (1.0 - (xv - yv).abs() / tol).max(0.0)
+            } else {
+                if xv == yv {
+                    1.0
+                } else {
+                    0.0
+                }
             };
             let m = mx.min(sim).min(y.membership(yv).value());
             if m > best {

@@ -292,10 +292,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Trapezoid::crisp(3.5).unwrap().to_string(), "3.5");
-        assert_eq!(
-            Trapezoid::triangular(1.0, 2.0, 3.0).unwrap().to_string(),
-            "tri(1, 2, 3)"
-        );
+        assert_eq!(Trapezoid::triangular(1.0, 2.0, 3.0).unwrap().to_string(), "tri(1, 2, 3)");
         assert_eq!(t(1.0, 2.0, 3.0, 4.0).to_string(), "trap(1, 2, 3, 4)");
     }
 

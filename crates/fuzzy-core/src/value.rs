@@ -265,10 +265,7 @@ mod tests {
     #[test]
     fn crisp_fuzzy_comparison_uses_membership() {
         let my = Value::fuzzy(Trapezoid::new(20.0, 25.0, 30.0, 35.0).unwrap());
-        assert_eq!(
-            Value::number(24.0).compare(CmpOp::Eq, &my).rounded(3),
-            0.8
-        );
+        assert_eq!(Value::number(24.0).compare(CmpOp::Eq, &my).rounded(3), 0.8);
     }
 
     #[test]

@@ -74,12 +74,7 @@ impl Vocabulary {
                 // Hedges stack: "very very old" applies the transform twice.
                 if let Ok(t) = self.resolve(base) {
                     let (a, b, c, d) = t.breakpoints();
-                    return Trapezoid::new(
-                        b - (b - a) * factor,
-                        b,
-                        c,
-                        c + (d - c) * factor,
-                    );
+                    return Trapezoid::new(b - (b - a) * factor, b, c, c + (d - c) * factor);
                 }
             }
         }
@@ -141,10 +136,7 @@ mod tests {
         assert!(v.get("warm").is_some());
         assert!(v.get("WARM").is_some());
         assert!(v.get("cold").is_none());
-        assert_eq!(
-            v.resolve("cold"),
-            Err(FuzzyError::UnknownTerm("cold".into()))
-        );
+        assert_eq!(v.resolve("cold"), Err(FuzzyError::UnknownTerm("cold".into())));
         // Redefinition replaces.
         v.define("WARM", Trapezoid::triangular(10.0, 20.0, 30.0).unwrap());
         assert_eq!(v.len(), 1);
@@ -167,7 +159,11 @@ mod tests {
         let p = |x: &str, y: &str| {
             possibility(&v.resolve(x).unwrap(), CmpOp::Eq, &v.resolve(y).unwrap()).value()
         };
-        assert!((p("about 50", "middle age") - 0.4).abs() < 1e-9, "got {}", p("about 50", "middle age"));
+        assert!(
+            (p("about 50", "middle age") - 0.4).abs() < 1e-9,
+            "got {}",
+            p("about 50", "middle age")
+        );
         assert!((p("middle age", "medium young") - 0.7).abs() < 1e-9);
         assert!((p("about 60K", "high") - 0.3).abs() < 1e-9, "got {}", p("about 60K", "high"));
         assert!((p("medium high", "high") - 0.7).abs() < 1e-9);

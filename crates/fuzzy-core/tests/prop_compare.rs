@@ -14,10 +14,10 @@ const ALL_OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::
 fn arb_trapezoid() -> impl Strategy<Value = Trapezoid> {
     let base = -50.0..50.0f64;
     let widths = prop_oneof![
-        Just((0.0, 0.0, 0.0)),                   // crisp point
-        (0.0..10.0f64).prop_map(|w| (0.0, w, 0.0)), // rectangle
+        Just((0.0, 0.0, 0.0)),                                       // crisp point
+        (0.0..10.0f64).prop_map(|w| (0.0, w, 0.0)),                  // rectangle
         (0.0..10.0f64, 0.0..10.0f64).prop_map(|(l, r)| (l, 0.0, r)), // triangle
-        (0.0..10.0f64, 0.0..10.0f64, 0.0..10.0f64), // general trapezoid
+        (0.0..10.0f64, 0.0..10.0f64, 0.0..10.0f64),                  // general trapezoid
         (0.0..10.0f64, 0.0..10.0f64).prop_map(|(c, r)| (0.0, c, r)), // vertical left
         (0.0..10.0f64, 0.0..10.0f64).prop_map(|(l, c)| (l, c, 0.0)), // vertical right
     ];

@@ -71,8 +71,7 @@ mod tests {
     fn vocabulary_access() {
         let mut c = Catalog::with_paper_vocabulary();
         assert!(c.vocabulary().get("medium young").is_some());
-        c.vocabulary_mut()
-            .define("tall", Trapezoid::new(170.0, 180.0, 200.0, 210.0).unwrap());
+        c.vocabulary_mut().define("tall", Trapezoid::new(170.0, 180.0, 200.0, 210.0).unwrap());
         assert!(c.vocabulary().get("TALL").is_some());
     }
 }

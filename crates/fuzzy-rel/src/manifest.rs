@@ -153,9 +153,7 @@ mod tests {
     fn roundtrip_catalog() {
         let disk = SimDisk::with_default_page_size();
         let mut catalog = Catalog::new();
-        catalog
-            .vocabulary_mut()
-            .define("warm", Trapezoid::triangular(15.0, 22.0, 30.0).unwrap());
+        catalog.vocabulary_mut().define("warm", Trapezoid::triangular(15.0, 22.0, 30.0).unwrap());
         let t = StoredTable::create_padded(
             &disk,
             "PEOPLE",

@@ -125,21 +125,14 @@ impl Relation {
     pub fn with_threshold(&self, z: Degree, strict: bool) -> Relation {
         Relation {
             schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| t.degree.meets(z, strict))
-                .cloned()
-                .collect(),
+            tuples: self.tuples.iter().filter(|t| t.degree.meets(z, strict)).cloned().collect(),
         }
     }
 
     /// Projects onto the attributes at `indices` (schema follows), keeping
     /// degrees; duplicates are *not* merged (callers decide when to dedup).
     pub fn project(&self, indices: &[usize]) -> Relation {
-        let schema = Schema::new(
-            indices.iter().map(|&i| self.schema.attr(i).clone()).collect(),
-        );
+        let schema = Schema::new(indices.iter().map(|&i| self.schema.attr(i).clone()).collect());
         let tuples = self
             .tuples
             .iter()
@@ -216,11 +209,8 @@ impl fmt::Display for Relation {
         // Compute column widths over header and values.
         let mut widths: Vec<usize> =
             self.schema.attributes().iter().map(|a| a.name.len()).collect();
-        let rows: Vec<Vec<String>> = self
-            .tuples
-            .iter()
-            .map(|t| t.values.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.tuples.iter().map(|t| t.values.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -271,10 +261,8 @@ mod tests {
     #[test]
     fn paper_example_41_answer_dedup() {
         // T2 = {Ann 0.3, Ann 0.7, Betty 0.7} -> answer {Ann 0.7, Betty 0.7}.
-        let r = Relation::from_tuples(
-            name_schema(),
-            [t("Ann", 0.3), t("Ann", 0.7), t("Betty", 0.7)],
-        );
+        let r =
+            Relation::from_tuples(name_schema(), [t("Ann", 0.3), t("Ann", 0.7), t("Betty", 0.7)]);
         let a = r.dedup_max();
         assert_eq!(a.len(), 2);
         assert_eq!(a.degree_of(&[Value::text("Ann")]).value(), 0.7);
@@ -295,10 +283,7 @@ mod tests {
 
     #[test]
     fn thresholds() {
-        let r = Relation::from_tuples(
-            name_schema(),
-            [t("A", 0.2), t("B", 0.5), t("C", 0.9)],
-        );
+        let r = Relation::from_tuples(name_schema(), [t("A", 0.2), t("B", 0.5), t("C", 0.9)]);
         let strict = r.with_threshold(Degree::new(0.5).unwrap(), true);
         assert_eq!(strict.len(), 1);
         let lax = r.with_threshold(Degree::new(0.5).unwrap(), false);
@@ -310,10 +295,7 @@ mod tests {
         let s = Schema::of(&[("NAME", AttrType::Text), ("AGE", AttrType::Number)]);
         let r = Relation::from_tuples(
             s,
-            [Tuple::new(
-                vec![Value::text("Ann"), Value::number(24.0)],
-                Degree::ONE,
-            )],
+            [Tuple::new(vec![Value::text("Ann"), Value::number(24.0)], Degree::ONE)],
         );
         let p = r.project(&[1]);
         assert_eq!(p.schema().len(), 1);

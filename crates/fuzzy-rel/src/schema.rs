@@ -59,9 +59,8 @@ impl Schema {
     /// Designates attribute `name` as the key. Panics if absent — schemas are
     /// built by the application, so a missing key is a programming error.
     pub fn with_key(mut self, name: &str) -> Schema {
-        let idx = self
-            .index_of(name)
-            .unwrap_or_else(|| panic!("key attribute {name:?} not in schema"));
+        let idx =
+            self.index_of(name).unwrap_or_else(|| panic!("key attribute {name:?} not in schema"));
         self.key = Some(idx);
         self
     }

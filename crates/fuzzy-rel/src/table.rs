@@ -24,12 +24,7 @@ pub struct StoredTable {
 impl StoredTable {
     /// Creates an empty table on `disk`.
     pub fn create(disk: &SimDisk, name: impl Into<String>, schema: Schema) -> StoredTable {
-        StoredTable {
-            name: name.into(),
-            schema,
-            file: HeapFile::create(disk),
-            min_record_bytes: 0,
-        }
+        StoredTable { name: name.into(), schema, file: HeapFile::create(disk), min_record_bytes: 0 }
     }
 
     /// Creates a table whose records are padded to at least `min_record_bytes`
@@ -40,12 +35,7 @@ impl StoredTable {
         schema: Schema,
         min_record_bytes: usize,
     ) -> StoredTable {
-        StoredTable {
-            name: name.into(),
-            schema,
-            file: HeapFile::create(disk),
-            min_record_bytes,
-        }
+        StoredTable { name: name.into(), schema, file: HeapFile::create(disk), min_record_bytes }
     }
 
     /// Reassembles a table from persisted parts (manifest decoding).
@@ -147,10 +137,7 @@ mod tests {
     }
 
     fn tup(id: f64, name: &str, d: f64) -> Tuple {
-        Tuple::new(
-            vec![Value::number(id), Value::text(name)],
-            Degree::new(d).unwrap(),
-        )
+        Tuple::new(vec![Value::number(id), Value::text(name)], Degree::new(d).unwrap())
     }
 
     #[test]

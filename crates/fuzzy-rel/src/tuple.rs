@@ -210,9 +210,8 @@ mod tests {
     #[test]
     fn crisp_vs_fuzzy_size_asymmetry() {
         let crisp = Tuple::full(vec![Value::number(42.0)]);
-        let fuzzy = Tuple::full(vec![Value::fuzzy(
-            Trapezoid::new(40.0, 41.0, 43.0, 44.0).unwrap(),
-        )]);
+        let fuzzy =
+            Tuple::full(vec![Value::fuzzy(Trapezoid::new(40.0, 41.0, 43.0, 44.0).unwrap())]);
         assert!(fuzzy.encode(0).len() > crisp.encode(0).len() + 20);
     }
 

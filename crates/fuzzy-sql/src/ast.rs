@@ -67,12 +67,7 @@ impl Query {
 
     /// Nesting depth: 1 for a flat query.
     pub fn depth(&self) -> usize {
-        1 + self
-            .direct_subqueries()
-            .iter()
-            .map(|q| q.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.direct_subqueries().iter().map(|q| q.depth()).max().unwrap_or(0)
     }
 }
 

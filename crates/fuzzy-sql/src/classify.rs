@@ -207,10 +207,7 @@ mod tests {
 
     #[test]
     fn flat_queries() {
-        assert_eq!(
-            class_of("SELECT F.NAME FROM F WHERE F.AGE = 'young'"),
-            QueryClass::Flat
-        );
+        assert_eq!(class_of("SELECT F.NAME FROM F WHERE F.AGE = 'young'"), QueryClass::Flat);
         assert_eq!(class_of("SELECT F.NAME FROM F, M WHERE F.AGE = M.AGE"), QueryClass::Flat);
     }
 

@@ -166,9 +166,8 @@ mod tests {
         for src in sources {
             let q1 = parse(src).unwrap();
             let rendered = q1.to_string();
-            let q2 = parse(&rendered).unwrap_or_else(|e| {
-                panic!("rendered SQL failed to re-parse: {rendered:?}: {e}")
-            });
+            let q2 = parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendered SQL failed to re-parse: {rendered:?}: {e}"));
             assert_eq!(q1, q2, "round-trip mismatch for {src:?} -> {rendered:?}");
         }
     }

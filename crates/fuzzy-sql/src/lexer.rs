@@ -123,9 +123,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             '\'' | '"' => tokens.push(lex_string(&mut cur, c)?),
             c if c.is_ascii_digit() => tokens.push(lex_number(&mut cur)?),
             c if c.is_alphabetic() || c == '_' => tokens.push(lex_word(&mut cur)),
-            other => {
-                return Err(ParseError::at(offset, format!("unexpected character {other:?}")))
-            }
+            other => return Err(ParseError::at(offset, format!("unexpected character {other:?}"))),
         }
     }
     tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
@@ -180,10 +178,9 @@ fn lex_number(cur: &mut Cursor<'_>) -> Result<Token> {
             let next = cur.peek2();
             let exp_ok = match next {
                 Some(d) if d.is_ascii_digit() => true,
-                Some('+') | Some('-') => cur
-                    .chars
-                    .get(cur.pos + 2)
-                    .is_some_and(|&(_, d)| d.is_ascii_digit()),
+                Some('+') | Some('-') => {
+                    cur.chars.get(cur.pos + 2).is_some_and(|&(_, d)| d.is_ascii_digit())
+                }
                 _ => false,
             };
             if exp_ok {
@@ -200,9 +197,8 @@ fn lex_number(cur: &mut Cursor<'_>) -> Result<Token> {
         }
     }
     let text = cur.slice(start, cur.offset());
-    let v: f64 = text
-        .parse()
-        .map_err(|_| ParseError::at(start, format!("invalid number {text:?}")))?;
+    let v: f64 =
+        text.parse().map_err(|_| ParseError::at(start, format!("invalid number {text:?}")))?;
     Ok(Token { kind: TokenKind::Number(v), offset: start })
 }
 
@@ -312,11 +308,7 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("SELECT -- the answer\n 42"),
-            vec![
-                TokenKind::Keyword("SELECT".into()),
-                TokenKind::Number(42.0),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Keyword("SELECT".into()), TokenKind::Number(42.0), TokenKind::Eof]
         );
     }
 
@@ -336,7 +328,7 @@ mod tests {
                 TokenKind::Keyword("SELECT".into()),
                 TokenKind::Keyword("SELECT".into()),
                 TokenKind::Keyword("SELECT".into()),
-            TokenKind::Eof
+                TokenKind::Eof
             ]
         );
     }

@@ -91,10 +91,7 @@ impl Parser {
         if self.eat(&kind) {
             Ok(())
         } else {
-            Err(ParseError::at(
-                self.offset(),
-                format!("expected {kind}, found {}", self.peek()),
-            ))
+            Err(ParseError::at(self.offset(), format!("expected {kind}, found {}", self.peek())))
         }
     }
 
@@ -115,10 +112,9 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(ParseError::at(
-                self.offset(),
-                format!("expected an identifier, found {other}"),
-            )),
+            other => {
+                Err(ParseError::at(self.offset(), format!("expected an identifier, found {other}")))
+            }
         }
     }
 
@@ -156,11 +152,7 @@ impl Parser {
                 having.push(self.having_predicate()?);
             }
         }
-        let with_threshold = if self.eat_keyword("WITH") {
-            Some(self.threshold()?)
-        } else {
-            None
-        };
+        let with_threshold = if self.eat_keyword("WITH") { Some(self.threshold()?) } else { None };
         let order_by = if self.eat_keyword("ORDER") {
             self.expect_keyword("BY")?;
             let col = self.column_ref()?;
@@ -261,10 +253,9 @@ impl Parser {
         };
         match self.bump() {
             TokenKind::Number(z) if (0.0..=1.0).contains(&z) => Ok(Threshold { z, strict }),
-            TokenKind::Number(z) => Err(ParseError::at(
-                self.offset(),
-                format!("WITH threshold {z} outside [0, 1]"),
-            )),
+            TokenKind::Number(z) => {
+                Err(ParseError::at(self.offset(), format!("WITH threshold {z} outside [0, 1]")))
+            }
             other => Err(ParseError::at(
                 self.offset(),
                 format!("expected a threshold number, found {other}"),
@@ -372,11 +363,15 @@ impl Parser {
             (k, args) => {
                 return Err(ParseError::at(
                     self.offset(),
-                    format!("{k}(…) takes {} numbers, got {}", match k {
-                        "TRAP" => 4,
-                        "TRI" => 3,
-                        _ => 2,
-                    }, args.len()),
+                    format!(
+                        "{k}(…) takes {} numbers, got {}",
+                        match k {
+                            "TRAP" => 4,
+                            "TRI" => 3,
+                            _ => 2,
+                        },
+                        args.len()
+                    ),
                 ))
             }
         };
@@ -453,11 +448,9 @@ impl Parser {
         }
         let op = self.cmp_op()?;
         // Quantified: op ALL/SOME/ANY ( query )
-        for (kw, quantifier) in [
-            ("ALL", Quantifier::All),
-            ("SOME", Quantifier::Some),
-            ("ANY", Quantifier::Some),
-        ] {
+        for (kw, quantifier) in
+            [("ALL", Quantifier::All), ("SOME", Quantifier::Some), ("ANY", Quantifier::Some)]
+        {
             if self.eat_keyword(kw) {
                 self.expect(TokenKind::LParen)?;
                 let query = Box::new(self.query()?);
@@ -530,10 +523,7 @@ mod tests {
 
     #[test]
     fn parses_is_in_and_is_not_in() {
-        let q = parse(
-            "SELECT R.X FROM R WHERE R.Y IS IN (SELECT S.Z FROM S)",
-        )
-        .unwrap();
+        let q = parse("SELECT R.X FROM R WHERE R.Y IS IN (SELECT S.Z FROM S)").unwrap();
         assert!(matches!(&q.predicates[0], Predicate::In { negated: false, .. }));
         let q = parse(
             "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME IS NOT IN \
@@ -564,7 +554,9 @@ mod tests {
 
     #[test]
     fn parses_quantifiers() {
-        for (kw, quant) in [("ALL", Quantifier::All), ("SOME", Quantifier::Some), ("ANY", Quantifier::Some)] {
+        for (kw, quant) in
+            [("ALL", Quantifier::All), ("SOME", Quantifier::Some), ("ANY", Quantifier::Some)]
+        {
             let q = parse(&format!(
                 "SELECT R.X FROM R WHERE R.Y < {kw} (SELECT S.Z FROM S WHERE S.V = R.U)"
             ))
@@ -581,8 +573,8 @@ mod tests {
 
     #[test]
     fn parses_exists() {
-        let q = parse("SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S WHERE S.V = R.U)")
-            .unwrap();
+        let q =
+            parse("SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S WHERE S.V = R.U)").unwrap();
         assert!(matches!(&q.predicates[0], Predicate::Exists { negated: false, .. }));
         let q = parse("SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)").unwrap();
         assert!(matches!(&q.predicates[0], Predicate::Exists { negated: true, .. }));

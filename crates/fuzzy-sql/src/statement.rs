@@ -201,7 +201,6 @@ impl StatementParser {
         }
     }
 
-
     fn eof(&mut self) -> Result<()> {
         if matches!(self.peek(), TokenKind::Eof) {
             Ok(())
@@ -318,7 +317,9 @@ impl StatementParser {
             }
             other => Err(ParseError::at(
                 self.offset(),
-                format!("expected a value (number, quoted text/term, or TRAP/TRI/ABOUT), found {other}"),
+                format!(
+                    "expected a value (number, quoted text/term, or TRAP/TRI/ABOUT), found {other}"
+                ),
             )),
         }
     }
@@ -345,7 +346,10 @@ impl StatementParser {
             self.expect(TokenKind::Eq)?;
             degree = self.number()?;
             if !(0.0..=1.0).contains(&degree) {
-                return Err(ParseError::at(self.offset(), format!("degree {degree} outside [0, 1]")));
+                return Err(ParseError::at(
+                    self.offset(),
+                    format!("degree {degree} outside [0, 1]"),
+                ));
             }
         }
         self.eof()?;
@@ -361,7 +365,10 @@ impl StatementParser {
         // `__match` is a placeholder select column; only predicates and the
         // threshold are taken from the parse, so it never needs to resolve.
         let q = crate::parser::parse(&synthesized).map_err(|e| {
-            ParseError::at(self.tokens[self.pos].offset, format!("in matching clause: {}", e.message))
+            ParseError::at(
+                self.tokens[self.pos].offset,
+                format!("in matching clause: {}", e.message),
+            )
         })?;
         if q.order_by.is_some() || q.limit.is_some() || !q.group_by.is_empty() {
             return Err(ParseError::at(
@@ -416,7 +423,12 @@ impl StatementParser {
             self.bump();
         }
         if matches!(self.peek(), TokenKind::Eof) {
-            return Ok(Statement::Update { table, assignments, predicates: Vec::new(), threshold: None });
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                predicates: Vec::new(),
+                threshold: None,
+            });
         }
         let (predicates, threshold) = self.matching_tail(&table)?;
         Ok(Statement::Update { table, assignments, predicates, threshold })
@@ -430,8 +442,8 @@ mod tests {
 
     #[test]
     fn parses_create_table() {
-        let s = parse_statement("CREATE TABLE People (ID NUMBER KEY, NAME TEXT, AGE NUMBER)")
-            .unwrap();
+        let s =
+            parse_statement("CREATE TABLE People (ID NUMBER KEY, NAME TEXT, AGE NUMBER)").unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "People");
@@ -501,10 +513,7 @@ mod tests {
         match s {
             Statement::Update { assignments, predicates, .. } => {
                 assert_eq!(assignments.len(), 2);
-                assert!(matches!(
-                    predicates[0],
-                    Predicate::Compare { op: CmpOp::Eq, .. }
-                ));
+                assert!(matches!(predicates[0], Predicate::Compare { op: CmpOp::Eq, .. }));
             }
             other => panic!("{other:?}"),
         }

@@ -78,8 +78,8 @@ impl fmt::Display for TokenKind {
 
 /// The reserved words of Fuzzy SQL.
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "IN", "NOT", "IS", "ALL", "SOME", "ANY",
-    "EXISTS", "GROUP", "BY", "HAVING", "WITH", "DISTINCT", "AS", "WITHIN", "ORDER", "LIMIT", "DESC", "ASC",
+    "SELECT", "FROM", "WHERE", "AND", "OR", "IN", "NOT", "IS", "ALL", "SOME", "ANY", "EXISTS",
+    "GROUP", "BY", "HAVING", "WITH", "DISTINCT", "AS", "WITHIN", "ORDER", "LIMIT", "DESC", "ASC",
 ];
 
 /// True iff `word` is a reserved keyword (case-insensitive).

@@ -8,7 +8,7 @@
 //! current `Rng(r)` (Section 3) — if they fit, each page of `S` is read
 //! exactly once; if not, LRU causes the re-reads a real system would incur.
 //!
-//! Frames hold immutable page images (`Rc<[u8]>`), so an operator can keep a
+//! Frames hold immutable page images (`Arc<[u8]>`), so an operator can keep a
 //! cheap handle to a page while the pool replaces the frame; that models
 //! pinning without reference-counted pin bookkeeping leaking into operators.
 
@@ -16,9 +16,8 @@ use crate::disk::{PageId, SimDisk};
 use crate::error::Result;
 use crate::file::HeapFile;
 use crate::page::Page;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Hit/miss statistics of a buffer pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,17 +29,19 @@ pub struct PoolStats {
 }
 
 struct PoolInner {
-    frames: HashMap<PageId, Rc<[u8]>>,
+    frames: HashMap<PageId, Arc<[u8]>>,
     lru: Vec<PageId>, // least-recently-used first
     capacity: usize,
     stats: PoolStats,
 }
 
-/// An LRU buffer pool over a [`SimDisk`]. Cloning shares the pool.
+/// An LRU buffer pool over a [`SimDisk`]. Cloning shares the pool; a pool
+/// may be used from multiple threads (frames are immutable `Arc<[u8]>`
+/// images, the replacement state sits behind a mutex).
 #[derive(Clone)]
 pub struct BufferPool {
     disk: SimDisk,
-    inner: Rc<RefCell<PoolInner>>,
+    inner: Arc<Mutex<PoolInner>>,
 }
 
 impl BufferPool {
@@ -49,7 +50,7 @@ impl BufferPool {
         assert!(capacity >= 1, "a buffer pool needs at least one frame");
         BufferPool {
             disk: disk.clone(),
-            inner: Rc::new(RefCell::new(PoolInner {
+            inner: Arc::new(Mutex::new(PoolInner {
                 frames: HashMap::with_capacity(capacity),
                 lru: Vec::with_capacity(capacity),
                 capacity,
@@ -60,7 +61,7 @@ impl BufferPool {
 
     /// The frame budget.
     pub fn capacity(&self) -> usize {
-        self.inner.borrow().capacity
+        self.inner.lock().expect("pool lock").capacity
     }
 
     /// The disk behind this pool.
@@ -70,14 +71,14 @@ impl BufferPool {
 
     /// Fetches a page image, reading from disk on a miss and evicting the
     /// least recently used frame if the pool is full.
-    pub fn get(&self, id: PageId) -> Result<Rc<[u8]>> {
-        let mut inner = self.inner.borrow_mut();
+    pub fn get(&self, id: PageId) -> Result<Arc<[u8]>> {
+        let mut inner = self.inner.lock().expect("pool lock");
         if let Some(frame) = inner.frames.get(&id).cloned() {
             inner.stats.hits += 1;
             touch(&mut inner.lru, id);
             return Ok(frame);
         }
-        let data: Rc<[u8]> = Rc::from(self.disk.read_page(id)?);
+        let data: Arc<[u8]> = Arc::from(self.disk.read_page(id)?);
         inner.stats.misses += 1;
         if inner.frames.len() >= inner.capacity {
             let victim = inner.lru.remove(0);
@@ -97,25 +98,19 @@ impl BufferPool {
     /// Drops every resident frame (e.g. between experiment legs) without
     /// touching statistics.
     pub fn clear(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("pool lock");
         inner.frames.clear();
         inner.lru.clear();
     }
 
     /// Hit/miss counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.borrow().stats
+        self.inner.lock().expect("pool lock").stats
     }
 
     /// Scans every record of a heap file in storage order through the pool.
     pub fn scan<'a>(&'a self, file: &'a HeapFile) -> RecordScan<'a> {
-        RecordScan {
-            pool: self,
-            file,
-            page_index: 0,
-            current: None,
-            slot: 0,
-        }
+        RecordScan { pool: self, file, page_index: 0, current: None, slot: 0 }
     }
 }
 
@@ -229,7 +224,7 @@ mod tests {
         let pool = BufferPool::new(&disk, 1);
         let held = pool.get(ids[0]).unwrap();
         pool.get(ids[1]).unwrap(); // evicts frame 0 from the pool
-        // The held image is still valid.
+                                   // The held image is still valid.
         let page = Page::from_bytes(held.to_vec().into_boxed_slice()).unwrap();
         assert_eq!(page.get(0).unwrap(), &[0u8]);
     }

@@ -93,21 +93,14 @@ mod tests {
 
     #[test]
     fn measurements_compose() {
-        let a = Measurement {
-            io: IoSnapshot { reads: 1, writes: 2 },
-            cpu: Duration::from_millis(5),
-        };
-        let b = Measurement {
-            io: IoSnapshot { reads: 10, writes: 0 },
-            cpu: Duration::from_millis(20),
-        };
+        let a =
+            Measurement { io: IoSnapshot { reads: 1, writes: 2 }, cpu: Duration::from_millis(5) };
+        let b =
+            Measurement { io: IoSnapshot { reads: 10, writes: 0 }, cpu: Duration::from_millis(20) };
         let s = a.plus(&b);
         assert_eq!(s.io.reads, 11);
         assert_eq!(s.io.writes, 2);
         assert_eq!(s.cpu, Duration::from_millis(25));
-        assert_eq!(
-            s.response_time(&CostModel::default()),
-            Duration::from_millis(25 + 13)
-        );
+        assert_eq!(s.response_time(&CostModel::default()), Duration::from_millis(25 + 13));
     }
 }

@@ -13,10 +13,10 @@
 //! ([`SimDisk::open_file`]) for persistence across processes.
 
 use crate::error::{Result, StorageError};
-use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a page on a disk.
 pub type PageId = u64;
@@ -30,18 +30,23 @@ enum Backing {
     File { file: File, num_pages: u64 },
 }
 
+/// Shared disk state. The page store sits behind a mutex (parallel sort and
+/// join workers write runs concurrently); the I/O counters are atomics so
+/// accounting never extends the critical section and stays exact regardless
+/// of thread interleaving.
 #[derive(Debug)]
 struct DiskInner {
     page_size: usize,
-    backing: Backing,
-    reads: u64,
-    writes: u64,
+    backing: Mutex<Backing>,
+    reads: AtomicU64,
+    writes: AtomicU64,
 }
 
-/// A shareable handle to a simulated disk. Cloning shares the same disk.
+/// A shareable handle to a simulated disk. Cloning shares the same disk, and
+/// handles may be used from multiple threads.
 #[derive(Debug, Clone)]
 pub struct SimDisk {
-    inner: Rc<RefCell<DiskInner>>,
+    inner: Arc<DiskInner>,
 }
 
 /// A snapshot of disk I/O counters.
@@ -61,10 +66,7 @@ impl IoSnapshot {
 
     /// Counter deltas since an earlier snapshot.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
-        IoSnapshot {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-        }
+        IoSnapshot { reads: self.reads - earlier.reads, writes: self.writes - earlier.writes }
     }
 }
 
@@ -73,12 +75,12 @@ impl SimDisk {
     pub fn new(page_size: usize) -> SimDisk {
         assert!(page_size >= 64, "page size must be at least 64 bytes");
         SimDisk {
-            inner: Rc::new(RefCell::new(DiskInner {
+            inner: Arc::new(DiskInner {
                 page_size,
-                backing: Backing::Memory(Vec::new()),
-                reads: 0,
-                writes: 0,
-            })),
+                backing: Mutex::new(Backing::Memory(Vec::new())),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -103,12 +105,12 @@ impl SimDisk {
             )));
         }
         Ok(SimDisk {
-            inner: Rc::new(RefCell::new(DiskInner {
+            inner: Arc::new(DiskInner {
                 page_size,
-                backing: Backing::File { file, num_pages: len / page_size as u64 },
-                reads: 0,
-                writes: 0,
-            })),
+                backing: Mutex::new(Backing::File { file, num_pages: len / page_size as u64 }),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+            }),
         })
     }
 
@@ -119,12 +121,12 @@ impl SimDisk {
 
     /// The page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.inner.borrow().page_size
+        self.inner.page_size
     }
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> u64 {
-        match &self.inner.borrow().backing {
+        match &*self.inner.backing.lock().expect("disk lock") {
             Backing::Memory(pages) => pages.len() as u64,
             Backing::File { num_pages, .. } => *num_pages,
         }
@@ -133,9 +135,8 @@ impl SimDisk {
     /// Allocates a zeroed page and returns its id. Allocation itself is not
     /// charged as an I/O; the subsequent write is.
     pub fn alloc_page(&self) -> PageId {
-        let mut inner = self.inner.borrow_mut();
-        let size = inner.page_size;
-        match &mut inner.backing {
+        let size = self.inner.page_size;
+        match &mut *self.inner.backing.lock().expect("disk lock") {
             Backing::Memory(pages) => {
                 let id = pages.len() as PageId;
                 pages.push(vec![0u8; size].into_boxed_slice());
@@ -153,13 +154,11 @@ impl SimDisk {
 
     /// Reads a page into a fresh buffer, charging one physical read.
     pub fn read_page(&self, id: PageId) -> Result<Box<[u8]>> {
-        let mut inner = self.inner.borrow_mut();
-        let size = inner.page_size;
-        let page: Box<[u8]> = match &mut inner.backing {
-            Backing::Memory(pages) => pages
-                .get(id as usize)
-                .ok_or(StorageError::PageOutOfBounds(id))?
-                .clone(),
+        let size = self.inner.page_size;
+        let page: Box<[u8]> = match &mut *self.inner.backing.lock().expect("disk lock") {
+            Backing::Memory(pages) => {
+                pages.get(id as usize).ok_or(StorageError::PageOutOfBounds(id))?.clone()
+            }
             Backing::File { file, num_pages } => {
                 if id >= *num_pages {
                     return Err(StorageError::PageOutOfBounds(id));
@@ -171,22 +170,20 @@ impl SimDisk {
                 buf.into_boxed_slice()
             }
         };
-        inner.reads += 1;
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
         Ok(page)
     }
 
     /// Writes a full page, charging one physical write.
     pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
-        let mut inner = self.inner.borrow_mut();
-        if data.len() != inner.page_size {
+        let size = self.inner.page_size;
+        if data.len() != size {
             return Err(StorageError::Corrupt(format!(
-                "page write of {} bytes to a disk with {}-byte pages",
+                "page write of {} bytes to a disk with {size}-byte pages",
                 data.len(),
-                inner.page_size
             )));
         }
-        let size = inner.page_size;
-        match &mut inner.backing {
+        match &mut *self.inner.backing.lock().expect("disk lock") {
             Backing::Memory(pages) => {
                 let idx = id as usize;
                 if idx >= pages.len() {
@@ -203,21 +200,22 @@ impl SimDisk {
                     .map_err(|e| StorageError::Corrupt(format!("page write failed: {e}")))?;
             }
         }
-        inner.writes += 1;
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Current I/O counters.
     pub fn io(&self) -> IoSnapshot {
-        let inner = self.inner.borrow();
-        IoSnapshot { reads: inner.reads, writes: inner.writes }
+        IoSnapshot {
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the I/O counters (between experiment legs).
     pub fn reset_io(&self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.reads = 0;
-        inner.writes = 0;
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -262,14 +260,8 @@ mod tests {
         let disk = SimDisk::new(128);
         assert_eq!(disk.read_page(0), Err(StorageError::PageOutOfBounds(0)));
         let p = disk.alloc_page();
-        assert!(matches!(
-            disk.write_page(p, &[0u8; 64]),
-            Err(StorageError::Corrupt(_))
-        ));
-        assert_eq!(
-            disk.write_page(99, &[0u8; 128]),
-            Err(StorageError::PageOutOfBounds(99))
-        );
+        assert!(matches!(disk.write_page(p, &[0u8; 64]), Err(StorageError::Corrupt(_))));
+        assert_eq!(disk.write_page(99, &[0u8; 128]), Err(StorageError::PageOutOfBounds(99)));
     }
 
     #[test]
@@ -326,10 +318,7 @@ mod file_backing_tests {
     fn file_backed_rejects_misaligned_files() {
         let path = temp_path("misaligned");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(matches!(
-            SimDisk::open_file(&path, 128),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(SimDisk::open_file(&path, 128), Err(StorageError::Corrupt(_))));
         std::fs::remove_file(&path).unwrap();
     }
 

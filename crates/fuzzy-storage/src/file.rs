@@ -10,8 +10,7 @@
 use crate::disk::{PageId, SimDisk};
 use crate::error::{Result, StorageError};
 use crate::page::Page;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a record inside a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,11 +27,12 @@ struct FileInner {
     record_count: u64,
 }
 
-/// A heap file on a [`SimDisk`]. Cloning shares the same file.
+/// A heap file on a [`SimDisk`]. Cloning shares the same file; handles may
+/// cross threads (parallel sort workers each build their own run files).
 #[derive(Debug, Clone)]
 pub struct HeapFile {
     disk: SimDisk,
-    inner: Rc<RefCell<FileInner>>,
+    inner: Arc<Mutex<FileInner>>,
 }
 
 impl HeapFile {
@@ -40,7 +40,7 @@ impl HeapFile {
     pub fn create(disk: &SimDisk) -> HeapFile {
         HeapFile {
             disk: disk.clone(),
-            inner: Rc::new(RefCell::new(FileInner { pages: Vec::new(), record_count: 0 })),
+            inner: Arc::new(Mutex::new(FileInner { pages: Vec::new(), record_count: 0 })),
         }
     }
 
@@ -51,17 +51,17 @@ impl HeapFile {
 
     /// Number of pages in the file.
     pub fn num_pages(&self) -> u64 {
-        self.inner.borrow().pages.len() as u64
+        self.inner.lock().expect("file lock").pages.len() as u64
     }
 
     /// Number of records in the file.
     pub fn num_records(&self) -> u64 {
-        self.inner.borrow().record_count
+        self.inner.lock().expect("file lock").record_count
     }
 
     /// All disk page ids of the file, in order (for catalog manifests).
     pub fn page_ids(&self) -> Vec<PageId> {
-        self.inner.borrow().pages.clone()
+        self.inner.lock().expect("file lock").pages.clone()
     }
 
     /// Reconstructs a heap file from persisted parts (a manifest's page list
@@ -69,14 +69,15 @@ impl HeapFile {
     pub fn from_parts(disk: &SimDisk, pages: Vec<PageId>, record_count: u64) -> HeapFile {
         HeapFile {
             disk: disk.clone(),
-            inner: Rc::new(RefCell::new(FileInner { pages, record_count })),
+            inner: Arc::new(Mutex::new(FileInner { pages, record_count })),
         }
     }
 
     /// The disk page id of the `index`-th page of the file.
     pub fn page_id(&self, index: u32) -> Result<PageId> {
         self.inner
-            .borrow()
+            .lock()
+            .expect("file lock")
             .pages
             .get(index as usize)
             .copied()
@@ -86,11 +87,7 @@ impl HeapFile {
     /// Opens a bulk writer. Records stream into an in-memory page that is
     /// flushed to disk when full and on `finish`.
     pub fn bulk_writer(&self) -> BulkWriter {
-        BulkWriter {
-            file: self.clone(),
-            current: Page::new(self.disk.page_size()),
-            pending: 0,
-        }
+        BulkWriter { file: self.clone(), current: Page::new(self.disk.page_size()), pending: 0 }
     }
 
     /// Convenience: appends all records from an iterator.
@@ -111,14 +108,14 @@ impl HeapFile {
     /// loading should use [`HeapFile::bulk_writer`] instead.
     pub fn append(&self, record: &[u8]) -> Result<()> {
         let last = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().expect("file lock");
             inner.pages.last().copied()
         };
         if let Some(pid) = last {
             let mut page = Page::from_bytes(self.disk.read_page(pid)?)?;
             if page.insert(record).is_ok() {
                 self.disk.write_page(pid, page.as_bytes())?;
-                self.inner.borrow_mut().record_count += 1;
+                self.inner.lock().expect("file lock").record_count += 1;
                 return Ok(());
             }
         }
@@ -133,7 +130,7 @@ impl HeapFile {
     fn push_page(&self, page: &Page, records_in_page: u64) -> Result<()> {
         let pid = self.disk.alloc_page();
         self.disk.write_page(pid, page.as_bytes())?;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("file lock");
         inner.pages.push(pid);
         inner.record_count += records_in_page;
         Ok(())
@@ -159,12 +156,10 @@ impl BulkWriter {
                 });
             }
             self.flush()?;
-            self.current
-                .insert(record)
-                .map_err(|_| StorageError::RecordTooLarge {
-                    need: record.len(),
-                    page_capacity: Page::capacity(self.file.disk.page_size()),
-                })?;
+            self.current.insert(record).map_err(|_| StorageError::RecordTooLarge {
+                need: record.len(),
+                page_capacity: Page::capacity(self.file.disk.page_size()),
+            })?;
         }
         self.pending += 1;
         Ok(())

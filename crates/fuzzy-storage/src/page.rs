@@ -29,8 +29,10 @@ pub struct Page {
 impl Page {
     /// Creates an empty page of `page_size` bytes.
     pub fn new(page_size: usize) -> Page {
-        assert!(page_size >= 64 && page_size <= u16::MAX as usize + 1,
-            "page size must be in [64, 65536]");
+        assert!(
+            page_size >= 64 && page_size <= u16::MAX as usize + 1,
+            "page size must be in [64, 65536]"
+        );
         let mut data = vec![0u8; page_size];
         write_u16(&mut data, 2, HEADER as u16); // free pointer starts after header
         Page { data }

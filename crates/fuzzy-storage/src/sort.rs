@@ -18,6 +18,8 @@ use crate::disk::SimDisk;
 use crate::error::Result;
 use crate::file::HeapFile;
 use std::cmp::Ordering;
+use std::sync::atomic::{self, AtomicU64};
+use std::sync::{mpsc, Mutex};
 
 /// Statistics of one external sort execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,121 @@ where
         let mut next: Vec<HeapFile> = Vec::new();
         for group in runs.chunks(fan_in) {
             next.push(merge_group(disk, group, memory_pages, &mut cmp, &mut comparisons)?);
+        }
+        runs = next;
+    }
+    let sorted = runs.pop().expect("at least one run");
+    Ok((sorted, SortStats { initial_runs, merge_passes, comparisons }))
+}
+
+/// Multi-threaded variant of [`external_sort`]: `threads` workers sort and
+/// spill runs concurrently while this thread scans the input and cuts
+/// batches. With `threads <= 1` this is exactly [`external_sort`].
+///
+/// Equality guarantee: batch boundaries, run contents, comparison counts,
+/// and physical I/O counts are identical to the serial sort for any thread
+/// count — only wall-clock time changes. The input scan cuts batches at the
+/// full memory budget exactly like the serial path (quicksorting identical
+/// batches performs identical comparisons), workers only sort and write
+/// whole runs (same page counts, merged in batch order), and the k-way merge
+/// stays serial. The price is working memory: up to `threads + 1` batches
+/// (each `memory_pages` big) are in flight at once, a deliberate trade so
+/// parallel results and accounting stay bit-identical to serial (see
+/// DESIGN.md).
+pub fn external_sort_parallel<F>(
+    disk: &SimDisk,
+    input: &HeapFile,
+    memory_pages: usize,
+    threads: usize,
+    cmp: F,
+) -> Result<(HeapFile, SortStats)>
+where
+    F: Fn(&[u8], &[u8]) -> Ordering + Sync,
+{
+    if threads <= 1 {
+        return external_sort(disk, input, memory_pages, cmp);
+    }
+    let memory_pages = memory_pages.max(2);
+    let budget_bytes = memory_pages * disk.page_size();
+
+    // --- Parallel run generation -------------------------------------------
+    // Rendezvous channel: the producer hands a full batch straight to an idle
+    // worker, so at most `threads` batches are being sorted while one more is
+    // being accumulated.
+    let comparisons = AtomicU64::new(0);
+    let finished: Mutex<Vec<(usize, Result<HeapFile>)>> = Mutex::new(Vec::new());
+    let (tx, rx) = mpsc::sync_channel::<(usize, Vec<Vec<u8>>)>(0);
+    let rx = Mutex::new(rx);
+
+    let scan_result: Result<()> = std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let msg = rx.lock().expect("sort channel lock").recv();
+                let Ok((index, mut batch)) = msg else { break };
+                let mut local: u64 = 0;
+                batch.sort_by(|a, b| {
+                    local += 1;
+                    cmp(a, b)
+                });
+                let run = HeapFile::create(disk);
+                let res = run.load(batch.iter()).map(|()| run);
+                comparisons.fetch_add(local, atomic::Ordering::Relaxed);
+                finished.lock().expect("sort slot lock").push((index, res));
+            });
+        }
+        // This thread is the producer: sequential scan, cutting batches at
+        // exactly the byte budget, as in the serial path.
+        let producer = || -> Result<()> {
+            let pool = BufferPool::new(disk, 1);
+            let mut batch: Vec<Vec<u8>> = Vec::new();
+            let mut batch_bytes = 0usize;
+            let mut next_index = 0usize;
+            for rec in pool.scan(input) {
+                let rec = rec?;
+                batch_bytes += rec.len();
+                batch.push(rec);
+                if batch_bytes >= budget_bytes {
+                    tx.send((next_index, std::mem::take(&mut batch))).expect("sort workers alive");
+                    next_index += 1;
+                    batch_bytes = 0;
+                }
+            }
+            if !batch.is_empty() {
+                tx.send((next_index, batch)).expect("sort workers alive");
+            }
+            Ok(())
+        };
+        let res = producer();
+        drop(tx); // unblock workers so the scope can join them
+        res
+    });
+    scan_result?;
+
+    let mut slots = finished.into_inner().expect("sort slot lock");
+    slots.sort_by_key(|(index, _)| *index);
+    let mut runs: Vec<HeapFile> = Vec::with_capacity(slots.len());
+    for (_, res) in slots {
+        runs.push(res?);
+    }
+    let mut comparisons = comparisons.into_inner();
+
+    let initial_runs = runs.len();
+    if runs.is_empty() {
+        return Ok((
+            HeapFile::create(disk),
+            SortStats { initial_runs: 0, merge_passes: 0, comparisons },
+        ));
+    }
+
+    // --- Merge passes: identical to the serial path ------------------------
+    let fan_in = (memory_pages - 1).max(2);
+    let mut merge_passes = 0usize;
+    let mut cmp_mut = |a: &[u8], b: &[u8]| cmp(a, b);
+    while runs.len() > 1 {
+        merge_passes += 1;
+        let mut next: Vec<HeapFile> = Vec::new();
+        for group in runs.chunks(fan_in) {
+            next.push(merge_group(disk, group, memory_pages, &mut cmp_mut, &mut comparisons)?);
         }
         runs = next;
     }
@@ -231,6 +348,47 @@ mod tests {
         let f = load_numbers(&disk, &[3, 1, 3, 1, 3]);
         let (sorted, _) = external_sort(&disk, &f, 2, by_key).unwrap();
         assert_eq!(read_all(&disk, &sorted), vec![1, 1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_exactly() {
+        // Same records on two disks: the parallel sort must reproduce the
+        // serial result, stats, AND physical I/O counters bit-for-bit.
+        let nums: Vec<u32> = (0..2000).map(|i| (i * 6007) % 2311).collect();
+        let serial_disk = SimDisk::new(128);
+        let f = load_numbers(&serial_disk, &nums);
+        serial_disk.reset_io();
+        let (serial_sorted, serial_stats) = external_sort(&serial_disk, &f, 4, by_key).unwrap();
+        let serial_io = serial_disk.io();
+        let serial_out = read_all(&serial_disk, &serial_sorted);
+
+        for threads in [1usize, 2, 4, 8] {
+            let disk = SimDisk::new(128);
+            let f = load_numbers(&disk, &nums);
+            disk.reset_io();
+            let (sorted, stats) = external_sort_parallel(&disk, &f, 4, threads, by_key).unwrap();
+            let io = disk.io();
+            assert_eq!(stats, serial_stats, "stats diverge at threads={threads}");
+            assert_eq!(io, serial_io, "I/O counters diverge at threads={threads}");
+            assert_eq!(
+                read_all(&disk, &sorted),
+                serial_out,
+                "output diverges at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sort_handles_empty_and_tiny_inputs() {
+        let disk = SimDisk::new(128);
+        let empty = HeapFile::create(&disk);
+        let (sorted, stats) = external_sort_parallel(&disk, &empty, 4, 4, by_key).unwrap();
+        assert_eq!(sorted.num_records(), 0);
+        assert_eq!(stats.initial_runs, 0);
+
+        let single = load_numbers(&disk, &[9, 4]);
+        let (sorted, _) = external_sort_parallel(&disk, &single, 4, 8, by_key).unwrap();
+        assert_eq!(read_all(&disk, &sorted), vec![4, 9]);
     }
 
     #[test]

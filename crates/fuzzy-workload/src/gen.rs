@@ -114,12 +114,8 @@ pub fn generate(disk: &SimDisk, spec: WorkloadSpec) -> Result<Workload> {
     };
 
     let schema = || {
-        Schema::of(&[
-            ("ID", AttrType::Number),
-            ("X", AttrType::Number),
-            ("V", AttrType::Number),
-        ])
-        .with_key("ID")
+        Schema::of(&[("ID", AttrType::Number), ("X", AttrType::Number), ("V", AttrType::Number)])
+            .with_key("ID")
     };
 
     let outer = StoredTable::create_padded(disk, "R", schema(), spec.tuple_bytes);
@@ -199,13 +195,8 @@ mod tests {
     #[test]
     fn fanout_is_approximately_c() {
         let disk = SimDisk::with_default_page_size();
-        let spec = WorkloadSpec {
-            n_outer: 300,
-            n_inner: 300,
-            fanout: 7,
-            seed: 7,
-            ..Default::default()
-        };
+        let spec =
+            WorkloadSpec { n_outer: 300, n_inner: 300, fanout: 7, seed: 7, ..Default::default() };
         let w = generate(&disk, spec).unwrap();
         let pool = BufferPool::new(&disk, 64);
         let r = w.outer.to_relation(&pool).unwrap();
@@ -231,7 +222,13 @@ mod tests {
         let disk = SimDisk::with_default_page_size();
         let w = generate(
             &disk,
-            WorkloadSpec { n_outer: 100, n_inner: 100, fuzzy_fraction: 1.0, seed: 3, ..Default::default() },
+            WorkloadSpec {
+                n_outer: 100,
+                n_inner: 100,
+                fuzzy_fraction: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pool = BufferPool::new(&disk, 64);
@@ -258,10 +255,7 @@ mod tests {
         let w2 = generate(&disk2, spec).unwrap();
         let p1 = BufferPool::new(&disk1, 8);
         let p2 = BufferPool::new(&disk2, 8);
-        assert_eq!(
-            w1.outer.to_relation(&p1).unwrap(),
-            w2.outer.to_relation(&p2).unwrap()
-        );
+        assert_eq!(w1.outer.to_relation(&p1).unwrap(), w2.outer.to_relation(&p2).unwrap());
     }
 
     #[test]
@@ -304,7 +298,8 @@ mod tests {
 
     #[test]
     fn spec_byte_accounting() {
-        let spec = WorkloadSpec { n_outer: 8000, n_inner: 16000, tuple_bytes: 128, ..Default::default() };
+        let spec =
+            WorkloadSpec { n_outer: 8000, n_inner: 16000, tuple_bytes: 128, ..Default::default() };
         // The paper calls 8000 x 128 B "1 MB".
         assert_eq!(spec.outer_bytes(), 1_024_000);
         assert_eq!(spec.inner_bytes(), 2_048_000);

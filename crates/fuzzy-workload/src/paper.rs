@@ -137,10 +137,7 @@ fn city(name: &str, population: Value, income: Value) -> Tuple {
 /// Reads a table fully into memory (test convenience).
 pub fn snapshot(catalog: &Catalog, disk: &SimDisk, table: &str) -> Result<Relation> {
     let pool = fuzzy_storage::BufferPool::new(disk, 8);
-    catalog
-        .table(table)
-        .unwrap_or_else(|| panic!("table {table} in catalog"))
-        .to_relation(&pool)
+    catalog.table(table).unwrap_or_else(|| panic!("table {table} in catalog")).to_relation(&pool)
 }
 
 #[cfg(test)]

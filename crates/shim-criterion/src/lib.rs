@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach the crates.io registry, so the workspace
+//! vendors the subset of criterion 0.5 its benches use: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it times a fixed number of iterations per benchmark
+//! and prints mean wall-clock time — enough to compare runs by eye and to
+//! keep `cargo bench` working offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one parameterized benchmark (subset of criterion's).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `routine` and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// The bench registry (subset of criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    group: Option<String>,
+    sample_size: usize,
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples: samples.max(1), mean: Duration::ZERO };
+    f(&mut b);
+    println!("bench {label:<40} {:>12.3?} /iter ({} iters)", b.mean, b.samples);
+}
+
+impl Criterion {
+    fn label(&self, name: &str) -> String {
+        match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 0 }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&self.label(name), self.effective_samples(), f);
+        self
+    }
+
+    /// Runs a single parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.label(&id.0), self.effective_samples(), |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.sample_size == 0 {
+            self.c.effective_samples()
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.samples(), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.0), self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(c: &mut Criterion) {
+        let mut group = c.benchmark_group("squares");
+        group.sample_size(3);
+        for n in [2u64, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| b.iter(|| n * n));
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, squares);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| b.iter(|| x * 2));
+    }
+}

@@ -1,0 +1,479 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach the crates.io registry, so the workspace
+//! vendors a minimal, API-compatible subset of proptest 1.x: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, range/tuple/`Just`/union/collection/string
+//! strategies, the `proptest!`, `prop_oneof!`, `prop_assert!` and
+//! `prop_assert_eq!` macros, [`ProptestConfig`] and [`TestCaseError`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - cases are generated from a fixed deterministic seed sequence (fully
+//!   reproducible runs, no `PROPTEST_CASES`/persistence machinery);
+//! - no shrinking — a failing case reports its values via the assertion
+//!   message instead of a minimized counterexample;
+//! - string strategies interpret only the `.{lo,hi}` regex shape (arbitrary
+//!   strings up to a length bound), which is the one shape the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+use std::fmt;
+use std::rc::Rc;
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Generator for the `case`-th test case (fixed golden base seed).
+    pub fn deterministic(case: u32) -> TestRng {
+        TestRng(StdRng::seed_from_u64(0xF0DD_BA11 ^ ((case as u64) << 17)))
+    }
+
+    fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut self.0)
+    }
+
+    fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros (subset of proptest's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A test-case failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { f: Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.sample(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i32, i64, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.sample(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// `&str` as a strategy: proptest treats the string as a generation regex.
+/// This shim honours the one shape the workspace uses — `.{lo,hi}` — and
+/// produces arbitrary strings (ASCII-heavy with occasional multi-byte
+/// characters) whose length lies in the bound.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = rng.sample(lo..hi + 1);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    const EXOTIC: [char; 8] = ['é', 'λ', '∀', '〜', '你', '\u{200b}', 'Ω', '🙂'];
+    match rng.bits() % 8 {
+        // Mostly printable ASCII: the interesting space for a SQL lexer.
+        0..=5 => (0x20u8 + (rng.bits() % 0x5f) as u8) as char,
+        6 => ['\n', '\t', '\r', '\0'][(rng.bits() % 4) as usize],
+        _ => EXOTIC[(rng.bits() % EXOTIC.len() as u64) as usize],
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible size arguments for [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.sample(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.sample(self.clone())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A vector strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// An arbitrary boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.sample(0..2u32) == 1
+        }
+    }
+}
+
+/// Executes one property: `cases` deterministic random cases of `body`.
+/// Called by the `proptest!` macro expansion; panics on the first failure.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::deterministic(case);
+        if let Err(e) = body(&mut rng) {
+            panic!("property {name}: case {case}/{} failed: {e}", config.cases);
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the case when it does not hold.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                l, r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($crate::Strategy::boxed($strat),)*);
+                #[allow(unused_variables)]
+                $crate::run_proptest($cfg, stringify!($name), |rng| {
+                    #[allow(non_snake_case)]
+                    let ($($arg,)*) = &strategies;
+                    $(let $arg = $crate::Strategy::generate($arg, rng);)*
+                    { $body };
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The usual glob import: strategies, config, error type, and macros.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError};
+
+    /// Mirror of proptest's `prop` path aliases (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (0..5i32, (1..=3u32).prop_map(|v| v * 10)).prop_map(|(a, b)| (a, b));
+        let mut rng = crate::TestRng::deterministic(0);
+        for _ in 0..100 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((0..5).contains(&a));
+            assert!([10, 20, 30].contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(1usize), Just(2usize), Just(3usize)];
+        let mut rng = crate::TestRng::deterministic(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) - 1] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn string_pattern_respects_length_bound() {
+        let mut rng = crate::TestRng::deterministic(2);
+        for _ in 0..200 {
+            let s = ".{0,16}".generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let strat = prop::collection::vec(0..10i32, 2..5);
+        let mut rng = crate::TestRng::deterministic(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires arguments, assertions, and `?` plumbing.
+        #[test]
+        fn macro_smoke(a in 0..100i32, b in 0..100i32, flag in crate::bool::ANY) {
+            prop_assert!(a + b <= 198, "sum {} out of range", a + b);
+            prop_assert_eq!(a + b, b + a);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_proptest(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to the crates.io registry, so
+//! the workspace vendors a minimal, API-compatible subset of `rand` 0.8:
+//! `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over the numeric
+//! ranges the workspace uses, and `Rng::gen_bool`. The generator is a
+//! deterministic splitmix64 — statistically fine for synthetic workloads and
+//! reproducible across platforms (which is all the tests and benches need);
+//! it is NOT a cryptographic or research-grade source of randomness.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = unit_f64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, i64, u32, u64, usize);
+
+/// High-level sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-3.0..9.5f64);
+            assert!((-3.0..9.5).contains(&f));
+            let i = rng.gen_range(0..15i32);
+            assert!((0..15).contains(&i));
+            let u = rng.gen_range(1..=10u32);
+            assert!((1..=10).contains(&u));
+            let n = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn integer_draws_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -37,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let about = |v: f64, w: f64| Value::fuzzy(Trapezoid::about(v, w).expect("w > 0"));
     db.load(
         "SUPPLIERS",
-        (0..12).map(|i| {
-            Tuple::full(vec![Value::text(format!("s{i}")), about(i as f64, 1.5)])
-        }),
+        (0..12).map(|i| Tuple::full(vec![Value::text(format!("s{i}")), about(i as f64, 1.5)])),
     )?;
     db.load(
         "PARTS",
@@ -53,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db.load(
         "ORDERS",
-        (0..12).map(|i| Tuple::full(vec![about(88.0 + 2.0 * i as f64, 4.0), Value::number(i as f64)])),
+        (0..12)
+            .map(|i| Tuple::full(vec![about(88.0 + 2.0 * i as f64, 4.0), Value::number(i as f64)])),
     )?;
 
     let chains = [

@@ -79,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let general = "SELECT F.NAME FROM F WHERE F.AGE IN (SELECT M.AGE FROM M) \
                    AND F.INCOME IN (SELECT M.INCOME FROM M)";
     let out = db.query_with(general, Strategy::Unnest)?;
-    println!("== two sub-queries (outside the catalogue) ==\nplan: {}\n{}", out.plan_label, out.answer);
+    println!(
+        "== two sub-queries (outside the catalogue) ==\nplan: {}\n{}",
+        out.plan_label, out.answer
+    );
     Ok(())
 }

@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let term = |name: &str| *vocab.get(name).expect("paper term");
 
     println!("== possibility vs necessity on the paper's vocabulary ==\n");
-    println!(
-        "{:<18} {:<4} {:<18} {:>6} {:>6}",
-        "X", "op", "Y", "Poss", "Nec"
-    );
+    println!("{:<18} {:<4} {:<18} {:>6} {:>6}", "X", "op", "Y", "Poss", "Nec");
     let crisp24 = Trapezoid::crisp(24.0)?;
     let cases: Vec<(String, Trapezoid, CmpOp, String, Trapezoid)> = vec![
         ("24".into(), crisp24, CmpOp::Eq, "medium young".into(), term("medium young")),
@@ -46,14 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "middle age".into(),
             term("middle age"),
         ),
+        ("middle age".into(), term("middle age"), CmpOp::Lt, "old".into(), term("old")),
         (
-            "middle age".into(),
-            term("middle age"),
-            CmpOp::Lt,
-            "old".into(),
-            term("old"),
+            "about 50".into(),
+            term("about 50"),
+            CmpOp::Gt,
+            "medium young".into(),
+            term("medium young"),
         ),
-        ("about 50".into(), term("about 50"), CmpOp::Gt, "medium young".into(), term("medium young")),
     ];
     for (xn, x, op, yn, y) in cases {
         let p = possibility(&x, op, &y);

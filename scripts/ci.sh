@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh --quick  # skip the release build (lints + debug tests)
+#
+# The workspace must stay warning-free under clippy; the tier-1 suite is
+# the root package's release build plus `cargo test` (the integration and
+# property tests of the fuzzy-db facade), followed by the full workspace
+# test run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+  echo "==> cargo build --release (tier-1)"
+  cargo build --release
+fi
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "CI gate passed."

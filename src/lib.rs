@@ -141,9 +141,9 @@ impl Database {
             Ok(bytes) => fuzzy_rel::manifest::decode(&bytes, &disk)?,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Catalog::new(),
             Err(e) => {
-                return Err(EngineError::Storage(fuzzy_storage::StorageError::Corrupt(
-                    format!("cannot read manifest: {e}"),
-                )))
+                return Err(EngineError::Storage(fuzzy_storage::StorageError::Corrupt(format!(
+                    "cannot read manifest: {e}"
+                ))))
             }
         };
         let mut db = Database::from_catalog(catalog, disk);
@@ -226,9 +226,7 @@ impl Database {
     /// Explains how a query would be evaluated: its classified nesting type
     /// (Sections 4-8 of the paper) and the unnested plan.
     pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
-        Engine::new(&self.catalog, &self.disk)
-            .with_config(self.config)
-            .explain(sql)
+        Engine::new(&self.catalog, &self.disk).with_config(self.config).explain(sql)
     }
 
     /// The catalog (tables + vocabulary).
@@ -296,19 +294,10 @@ mod tests {
     #[test]
     fn create_insert_query_roundtrip() {
         let mut db = tiny_db();
-        db.insert(
-            "PEOPLE",
-            Tuple::full(vec![Value::text("Ann"), Value::number(24.0)]),
-        )
-        .unwrap();
-        db.insert(
-            "PEOPLE",
-            Tuple::full(vec![Value::text("Zed"), Value::number(70.0)]),
-        )
-        .unwrap();
-        let ans = db
-            .query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'")
-            .unwrap();
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(24.0)])).unwrap();
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Zed"), Value::number(70.0)])).unwrap();
+        let ans =
+            db.query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
         assert_eq!(ans.len(), 1);
         assert_eq!(ans.tuples()[0].values[0], Value::text("Ann"));
         assert!((ans.tuples()[0].degree.value() - 0.8).abs() < 1e-9);
@@ -317,9 +306,7 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut db = tiny_db();
-        let err = db
-            .create_table("people", Schema::of(&[("X", AttrType::Number)]))
-            .unwrap_err();
+        let err = db.create_table("people", Schema::of(&[("X", AttrType::Number)])).unwrap_err();
         assert!(err.to_string().contains("already exists"));
     }
 
@@ -339,9 +326,7 @@ mod tests {
         let db = Database::new();
         assert!(db.query("SELECT X.A FROM X").is_err());
         let mut db = Database::new();
-        assert!(db
-            .insert("X", Tuple::full(vec![Value::number(1.0)]))
-            .is_err());
+        assert!(db.insert("X", Tuple::full(vec![Value::number(1.0)])).is_err());
     }
 
     #[test]
@@ -364,14 +349,9 @@ mod tests {
     #[test]
     fn threshold_helper() {
         let mut db = tiny_db();
-        db.insert(
-            "PEOPLE",
-            Tuple::full(vec![Value::text("Ann"), Value::number(23.0)]),
-        )
-        .unwrap();
-        let ans = db
-            .query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'")
-            .unwrap();
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(23.0)])).unwrap();
+        let ans =
+            db.query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
         assert_eq!(Database::threshold(&ans, 0.5).len(), 1); // degree 0.6
         assert_eq!(Database::threshold(&ans, 0.65).len(), 0);
     }
@@ -416,10 +396,7 @@ impl Database {
                     })
                     .collect();
                 let mut schema = Schema::new(
-                    attrs
-                        .iter()
-                        .map(|(n, t)| fuzzy_rel::Attribute::new(n.clone(), *t))
-                        .collect(),
+                    attrs.iter().map(|(n, t)| fuzzy_rel::Attribute::new(n.clone(), *t)).collect(),
                 );
                 if let Some(key) = columns.iter().find(|c| c.key) {
                     schema = schema.with_key(&key.name);

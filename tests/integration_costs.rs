@@ -65,14 +65,11 @@ fn merge_join_io_is_near_linear() {
     // Sort (two passes) + one join scan: a small constant times the base
     // pages, regardless of fan-out.
     let db = workload_db(4000, 4, 64);
-    let pages = db.catalog().table("R").unwrap().num_pages()
-        + db.catalog().table("S").unwrap().num_pages();
+    let pages =
+        db.catalog().table("R").unwrap().num_pages() + db.catalog().table("S").unwrap().num_pages();
     let mj = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
     let total_io = mj.measurement.io.total();
-    assert!(
-        total_io <= pages * 8,
-        "merge-join I/O {total_io} not linear in {pages} base pages"
-    );
+    assert!(total_io <= pages * 8, "merge-join I/O {total_io} not linear in {pages} base pages");
 }
 
 #[test]
@@ -168,7 +165,11 @@ fn wide_tuples_flow_through_joins() {
         let t = fuzzy_rel::StoredTable::create_padded(
             &disk,
             name,
-            Schema::of(&[("ID", AttrType::Number), ("X", AttrType::Number), ("BLOB", AttrType::Text)]),
+            Schema::of(&[
+                ("ID", AttrType::Number),
+                ("X", AttrType::Number),
+                ("BLOB", AttrType::Text),
+            ]),
             2048,
         );
         t.load((0..120).map(|i| {
@@ -200,9 +201,9 @@ fn heavy_duplicate_values_in_aggregate_groups() {
     let mut catalog = Catalog::new();
     let schema = || Schema::of(&[("U", AttrType::Number), ("Z", AttrType::Number)]);
     let r = fuzzy_rel::StoredTable::create(&disk, "R", schema());
-    r.load((0..10).map(|i| {
-        Tuple::full(vec![Value::number((i % 3) as f64), Value::number(i as f64)])
-    }))
+    r.load(
+        (0..10).map(|i| Tuple::full(vec![Value::number((i % 3) as f64), Value::number(i as f64)])),
+    )
     .unwrap();
     catalog.register(r);
     let s = fuzzy_rel::StoredTable::create(&disk, "S", schema());

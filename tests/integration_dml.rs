@@ -49,10 +49,7 @@ fn create_insert_select_pipeline() {
     assert!(rel.tuples()[1].degree.value() < 1.0);
     // Cy entered with membership 0.6.
     let all = db.execute("SELECT PEOPLE.ID FROM PEOPLE").unwrap();
-    assert_eq!(
-        rows(&all).degree_of(&[Value::number(3.0)]).value(),
-        0.6
-    );
+    assert_eq!(rows(&all).degree_of(&[Value::number(3.0)]).value(), 0.6);
 }
 
 #[test]
@@ -75,9 +72,8 @@ fn fuzzy_delete_with_threshold() {
     let mut db = fresh_db();
     // "possibly medium young" matches Ann (1.0) and Bo (0.5); the threshold
     // keeps Bo alive.
-    let r = db
-        .execute("DELETE FROM PEOPLE WHERE PEOPLE.AGE = 'medium young' WITH D > 0.8")
-        .unwrap();
+    let r =
+        db.execute("DELETE FROM PEOPLE WHERE PEOPLE.AGE = 'medium young' WITH D > 0.8").unwrap();
     assert_eq!(affected(&r), 1);
     let names = rows(&db.execute("SELECT PEOPLE.NAME FROM PEOPLE").unwrap()).clone();
     let names: Vec<String> = names.tuples().iter().map(|t| t.values[0].to_string()).collect();
@@ -92,13 +88,10 @@ fn fuzzy_delete_with_threshold() {
 #[test]
 fn fuzzy_update_rewrites_matching_tuples() {
     let mut db = fresh_db();
-    let r = db
-        .execute("UPDATE PEOPLE SET AGE = TRI(25, 26, 27) WHERE PEOPLE.NAME = 'Ann'")
-        .unwrap();
+    let r =
+        db.execute("UPDATE PEOPLE SET AGE = TRI(25, 26, 27) WHERE PEOPLE.NAME = 'Ann'").unwrap();
     assert_eq!(affected(&r), 1);
-    let out = db
-        .execute("SELECT PEOPLE.AGE FROM PEOPLE WHERE PEOPLE.NAME = 'Ann'")
-        .unwrap();
+    let out = db.execute("SELECT PEOPLE.AGE FROM PEOPLE WHERE PEOPLE.NAME = 'Ann'").unwrap();
     let rel = rows(&out);
     assert_eq!(rel.len(), 1);
     assert_eq!(rel.tuples()[0].values[0].interval(), Some((25.0, 27.0)));
@@ -129,9 +122,7 @@ fn fuzzy_literals_work_in_where_clauses() {
         .execute("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = TRAP(20, 25, 30, 35)")
         .unwrap();
     assert_eq!(rows(&out).len(), 2);
-    let out = db
-        .execute("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = ABOUT(70, 3)")
-        .unwrap();
+    let out = db.execute("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = ABOUT(70, 3)").unwrap();
     assert_eq!(rows(&out).len(), 1);
     // Invalid breakpoints are rejected at execution.
     assert!(db

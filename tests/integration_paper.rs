@@ -21,11 +21,8 @@ fn example_41_exact_answer_via_facade() {
              (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')",
         )
         .unwrap();
-    let mut rows: Vec<(String, f64)> = answer
-        .tuples()
-        .iter()
-        .map(|t| (t.values[0].to_string(), t.degree.value()))
-        .collect();
+    let mut rows: Vec<(String, f64)> =
+        answer.tuples().iter().map(|t| (t.values[0].to_string(), t.degree.value())).collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0].0, "Ann");
@@ -81,9 +78,7 @@ fn exists_unnests_and_general_shapes_fall_back() {
 #[test]
 fn measurement_accounts_io() {
     let db = dating_db();
-    let out = db
-        .query_with("SELECT F.NAME FROM F", Strategy::Unnest)
-        .unwrap();
+    let out = db.query_with("SELECT F.NAME FROM F", Strategy::Unnest).unwrap();
     assert!(out.measurement.io.reads >= 1);
     let rt = out.response_time(db.cost_model());
     assert!(rt >= out.measurement.cpu);
@@ -114,14 +109,10 @@ fn vocabulary_terms_resolve_in_queries() {
     assert!(!names.contains(&"Cathy".to_string()), "answer: {both}");
     assert!((both.degree_of(&[fuzzy_core::Value::text("Betty")]).value() - 0.4).abs() < 1e-9);
     // Unknown terms over numeric attributes simply never match.
-    let unknown = db
-        .query("SELECT F.NAME FROM F WHERE F.AGE = 'galactic age'")
-        .unwrap();
+    let unknown = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'galactic age'").unwrap();
     assert!(unknown.is_empty());
     // Over text attributes, quoted literals are plain strings.
-    let ann = db
-        .query("SELECT F.ID FROM F WHERE F.NAME = 'Ann'")
-        .unwrap();
+    let ann = db.query("SELECT F.ID FROM F WHERE F.NAME = 'Ann'").unwrap();
     assert_eq!(ann.len(), 2);
 }
 

@@ -40,17 +40,10 @@ fn group_by_with_count_and_sum() {
         .query("SELECT SALES.REGION, COUNT(SALES.AMOUNT), SUM(SALES.AMOUNT) FROM SALES GROUP BY SALES.REGION")
         .unwrap();
     assert_eq!(ans.len(), 3);
-    let north = ans
-        .tuples()
-        .iter()
-        .find(|t| t.values[0] == Value::text("north"))
-        .unwrap();
+    let north = ans.tuples().iter().find(|t| t.values[0] == Value::text("north")).unwrap();
     assert_eq!(north.values[1], Value::number(3.0));
     // Fuzzy SUM: 10 + 20 + tri(28,30,32) = tri(58,60,62).
-    assert_eq!(
-        north.values[2],
-        Value::fuzzy(Trapezoid::triangular(58.0, 60.0, 62.0).unwrap())
-    );
+    assert_eq!(north.values[2], Value::fuzzy(Trapezoid::triangular(58.0, 60.0, 62.0).unwrap()));
 }
 
 #[test]
@@ -120,23 +113,15 @@ fn limit_gives_top_k() {
     assert_eq!(top1.len(), 1);
     // The age 27 tuple is a full member of medium young.
     assert_eq!(top1.tuples()[0].degree.value(), 1.0);
-    let none = db
-        .query("SELECT SALES.REGION FROM SALES LIMIT 0")
-        .unwrap();
+    let none = db.query("SELECT SALES.REGION FROM SALES LIMIT 0").unwrap();
     assert!(none.is_empty());
 }
 
 #[test]
 fn order_by_column_uses_interval_order() {
     let db = sales_db();
-    let ans = db
-        .query("SELECT SALES.AMOUNT FROM SALES ORDER BY AMOUNT")
-        .unwrap();
-    let firsts: Vec<f64> = ans
-        .tuples()
-        .iter()
-        .map(|t| t.values[0].interval().unwrap().0)
-        .collect();
+    let ans = db.query("SELECT SALES.AMOUNT FROM SALES ORDER BY AMOUNT").unwrap();
+    let firsts: Vec<f64> = ans.tuples().iter().map(|t| t.values[0].interval().unwrap().0).collect();
     assert!(firsts.windows(2).all(|w| w[0] <= w[1]), "not ⪯-ordered: {firsts:?}");
 }
 
@@ -157,16 +142,11 @@ fn order_and_limit_apply_on_all_strategies() {
 fn similarity_predicate_end_to_end() {
     let db = sales_db();
     // amount ~ 18 within 5: matches 20 with degree 1 - 2/5 = 0.6.
-    let ans = db
-        .query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT ~ 18 WITHIN 5")
-        .unwrap();
+    let ans = db.query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT ~ 18 WITHIN 5").unwrap();
     assert_eq!(ans.len(), 1);
     assert!((ans.tuples()[0].degree.value() - 0.6).abs() < 1e-9);
     // Zero tolerance is a parse error; plain equality gives nothing at 18.
-    assert!(db
-        .query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT = 18")
-        .unwrap()
-        .is_empty());
+    assert!(db.query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT = 18").unwrap().is_empty());
 }
 
 #[test]
@@ -198,9 +178,8 @@ fn linguistic_hedges_in_queries() {
         let b = base.degree_of(&t.values);
         assert!(t.degree <= b, "very must not raise degrees: {} vs {}", t.degree, b);
     }
-    let somewhat = db
-        .query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'somewhat medium young'")
-        .unwrap();
+    let somewhat =
+        db.query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'somewhat medium young'").unwrap();
     assert!(somewhat.len() >= base.len(), "somewhat widens the match set");
 }
 
@@ -211,11 +190,7 @@ fn degree_pseudo_column_in_predicates() {
     // evaluated by the naive strategy (the physical plans have no degree
     // column to bind), via transparent fallback.
     let mut db = Database::with_paper_vocabulary();
-    db.create_table(
-        "T",
-        Schema::of(&[("NAME", AttrType::Text)]),
-    )
-    .unwrap();
+    db.create_table("T", Schema::of(&[("NAME", AttrType::Text)])).unwrap();
     db.load(
         "T",
         vec![
@@ -224,9 +199,7 @@ fn degree_pseudo_column_in_predicates() {
         ],
     )
     .unwrap();
-    let out = db
-        .query_with("SELECT T.NAME FROM T WHERE T.D >= 0.5", Strategy::Unnest)
-        .unwrap();
+    let out = db.query_with("SELECT T.NAME FROM T WHERE T.D >= 0.5", Strategy::Unnest).unwrap();
     assert_eq!(out.plan_label, "naive-fallback", "{}", out.plan_label);
     assert_eq!(out.answer.len(), 1);
     assert_eq!(out.answer.tuples()[0].values[0], Value::text("strong"));
