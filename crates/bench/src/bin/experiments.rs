@@ -4,13 +4,17 @@
 //! cargo run -p bench --release --bin experiments -- [--scale S] [--table1]
 //!     [--table2] [--table3] [--table4] [--fig1] [--fig2] [--fig3]
 //!     [--ablation-dangling] [--page-io-ms MS] [--nl-pair-budget N]
-//!     [--threads T] [--parallel] [--all]
+//!     [--threads T] [--parallel] [--metrics-json FILE] [--all]
 //! ```
 //!
 //! `--threads T` sets the worker-thread count every merge-join leg runs
 //! with (default 1, the serial engine). `--parallel` sweeps the scale-8
 //! type J leg over 1/2/4/8 threads and writes the machine-readable
 //! `BENCH_parallel.json` next to the working directory.
+//!
+//! `--metrics-json FILE` runs the canonical type J leg once under the
+//! scaled configuration and dumps the per-operator metrics registry (the
+//! `EXPLAIN ANALYZE` counters) as JSON to `FILE`.
 //!
 //! With `--scale S` every tuple count is divided by `S` (default 8, so the
 //! suite completes in minutes; `--scale 1` reproduces the paper's exact
@@ -31,16 +35,24 @@ struct Args {
     page_io_ms: u64,
     nl_pair_budget: u64,
     threads: usize,
+    metrics_json: Option<String>,
     run: Vec<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 8, page_io_ms: 1, nl_pair_budget: 150_000_000, threads: 1, run: Vec::new() };
+    let mut args = Args {
+        scale: 8,
+        page_io_ms: 1,
+        nl_pair_budget: 150_000_000,
+        threads: 1,
+        metrics_json: None,
+        run: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => args.scale = it.next().expect("--scale N").parse().expect("number"),
+            "--metrics-json" => args.metrics_json = Some(it.next().expect("--metrics-json FILE")),
             "--threads" => {
                 args.threads =
                     it.next().expect("--threads T").parse::<usize>().expect("number").max(1)
@@ -57,7 +69,7 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other:?}"),
         }
     }
-    if args.run.is_empty() {
+    if args.run.is_empty() && args.metrics_json.is_none() {
         args.run.push("all".into());
     }
     args
@@ -125,6 +137,36 @@ fn main() {
     }
     if wants(&args, "parallel") {
         parallel_sweep(&args);
+    }
+    if let Some(path) = args.metrics_json.clone() {
+        metrics_json_dump(&args, &path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --metrics-json: dump the per-operator registry of one type J leg
+// ---------------------------------------------------------------------------
+
+fn metrics_json_dump(args: &Args, path: &str) {
+    use fuzzy_engine::Engine;
+    println!("## Per-operator metrics — canonical type J leg\n");
+    let n = 8 * 8000 / args.scale.max(1);
+    let spec = WorkloadSpec {
+        n_outer: n,
+        n_inner: n,
+        tuple_bytes: 128,
+        fanout: 7,
+        seed: 8000 + args.scale as u64,
+        ..Default::default()
+    };
+    let (catalog, disk) = build_workload(spec);
+    let engine = Engine::new(&catalog, &disk).with_config(scaled_config(args));
+    let out = engine.run_sql(bench::TYPE_J_SQL, Strategy::Unnest).expect("metrics leg");
+    match std::fs::write(path, out.metrics.to_json()) {
+        Ok(()) => {
+            println!("wrote per-operator metrics ({} ops) to {path}\n", out.metrics.ops().len())
+        }
+        Err(e) => println!("could not write {path}: {e}\n"),
     }
 }
 

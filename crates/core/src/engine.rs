@@ -2,6 +2,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::exec::{ExecConfig, ExecStats, Executor};
+use crate::metrics::{OpKind, QueryMetrics};
 use crate::naive::NaiveEvaluator;
 use crate::unnest::build_plan;
 use fuzzy_rel::{Catalog, Relation};
@@ -35,8 +36,11 @@ pub struct QueryOutcome {
     /// I/O counters and CPU time of the execution.
     pub measurement: Measurement,
     /// Executor counters (pair examinations, sort comparisons) where
-    /// applicable.
+    /// applicable — a summary derived from [`QueryOutcome::metrics`].
     pub exec_stats: ExecStats,
+    /// The per-operator metrics registry of the run (tuples in/out, fuzzy
+    /// comparisons, buffer and I/O counters, wall time per operator).
+    pub metrics: QueryMetrics,
     /// A short description of how the query was evaluated.
     pub plan_label: String,
 }
@@ -102,8 +106,11 @@ impl<'a> Engine<'a> {
     pub fn run(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
         let io_before = self.disk.io();
         let start = Instant::now();
-        let (answer, exec_stats, plan_label) = match strategy {
-            Strategy::Naive => (self.run_naive(q)?, ExecStats::default(), "naive".to_string()),
+        let (answer, exec_stats, metrics, plan_label) = match strategy {
+            Strategy::Naive => {
+                let (answer, metrics) = self.run_naive_metered(q)?;
+                (answer, ExecStats::default(), metrics, "naive".to_string())
+            }
             Strategy::Unnest => match build_plan(q, self.catalog) {
                 Ok(plan) => {
                     let mut ex = Executor::new(&self.disk, self.config);
@@ -111,10 +118,11 @@ impl<'a> Engine<'a> {
                         ex = ex.with_statistics(stats.clone());
                     }
                     let answer = ex.run(&plan)?;
-                    (answer, ex.stats, format!("unnest:{}", plan.label()))
+                    (answer, ex.stats(), ex.take_metrics(), format!("unnest:{}", plan.label()))
                 }
                 Err(EngineError::Unsupported(_)) => {
-                    (self.run_naive(q)?, ExecStats::default(), "naive-fallback".to_string())
+                    let (answer, metrics) = self.run_naive_metered(q)?;
+                    (answer, ExecStats::default(), metrics, "naive-fallback".to_string())
                 }
                 Err(e) => return Err(e),
             },
@@ -122,13 +130,13 @@ impl<'a> Engine<'a> {
                 let plan = build_plan(q, self.catalog)?;
                 let mut ex = Executor::new(&self.disk, self.config);
                 let answer = ex.run_baseline(&plan)?;
-                (answer, ex.stats, format!("nested-loop:{}", plan.label()))
+                (answer, ex.stats(), ex.take_metrics(), format!("nested-loop:{}", plan.label()))
             }
             Strategy::MaterializedNestedLoop => {
                 let plan = build_plan(q, self.catalog)?;
                 let mut ex = Executor::new(&self.disk, self.config);
                 let answer = ex.run_baseline_materialized(&plan)?;
-                (answer, ex.stats, format!("materialized-nl:{}", plan.label()))
+                (answer, ex.stats(), ex.take_metrics(), format!("materialized-nl:{}", plan.label()))
             }
         };
         // ORDER BY / LIMIT presentation steps for the physical strategies
@@ -151,30 +159,60 @@ impl<'a> Engine<'a> {
         }
         let cpu = start.elapsed();
         let io = self.disk.io().since(&io_before);
-        Ok(QueryOutcome { answer, measurement: Measurement { io, cpu }, exec_stats, plan_label })
+        Ok(QueryOutcome {
+            answer,
+            measurement: Measurement { io, cpu },
+            exec_stats,
+            metrics,
+            plan_label,
+        })
     }
 
-    /// Explains how a query would be evaluated under `Strategy::Unnest`:
-    /// its classified type and the unnested plan (or the naive fallback).
+    /// Explains how a query would be evaluated under [`Strategy::Unnest`]:
+    /// its classified type, the chosen strategy, the unnested plan (or the
+    /// naive fallback), and deterministic cost estimates.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let q = fuzzy_sql::parse(sql)?;
-        let class = fuzzy_sql::classify(&q);
-        let mut out = format!("query class: {class:?} (depth {})\n", q.depth());
-        match build_plan(&q, self.catalog) {
-            Ok(plan) => {
-                out.push_str(&plan.explain());
-            }
-            Err(EngineError::Unsupported(msg)) => {
-                out.push_str(&format!("naive fallback: {msg}\n"));
-            }
-            Err(e) => return Err(e),
-        }
-        Ok(out)
+        self.explain_query(&q)
     }
 
-    fn run_naive(&self, q: &fuzzy_sql::Query) -> Result<Relation> {
+    /// [`Engine::explain`] over an already-parsed query.
+    pub fn explain_query(&self, q: &fuzzy_sql::Query) -> Result<String> {
+        crate::explain::render_explain(q, self.catalog, &self.config, self.statistics.as_deref())
+    }
+
+    /// Runs the query under [`Strategy::Unnest`] and renders the plan
+    /// annotated with the *actual* per-operator counters and wall times.
+    /// Returns the rendering together with the outcome.
+    pub fn explain_analyze(&self, sql: &str) -> Result<(String, QueryOutcome)> {
+        let q = fuzzy_sql::parse(sql)?;
+        self.explain_analyze_query(&q)
+    }
+
+    /// [`Engine::explain_analyze`] over an already-parsed query.
+    pub fn explain_analyze_query(&self, q: &fuzzy_sql::Query) -> Result<(String, QueryOutcome)> {
+        let mut out = self.explain_query(q)?;
+        let outcome = self.run(q, Strategy::Unnest)?;
+        out.push_str(&crate::explain::render_actual(&outcome));
+        Ok((out, outcome))
+    }
+
+    /// Runs the naive evaluator under a single `naive-eval` operator node so
+    /// fallback runs still carry comparable metrics.
+    fn run_naive_metered(&self, q: &fuzzy_sql::Query) -> Result<(Relation, QueryMetrics)> {
+        let mut metrics = QueryMetrics::default();
+        let id = metrics.begin(OpKind::Naive, "naive-eval");
+        let io0 = self.disk.io();
+        let t0 = Instant::now();
         let pool = BufferPool::new(&self.disk, self.config.buffer_pages);
-        NaiveEvaluator::new(self.catalog, &pool).eval(q)
+        let ev = NaiveEvaluator::new(self.catalog, &pool);
+        let answer = ev.eval(q)?;
+        let m = metrics.op_mut(id);
+        m.fuzzy_comparisons = ev.comparisons();
+        m.tuples_out = answer.len() as u64;
+        m.add_pool(&pool.stats());
+        metrics.finish(id, t0.elapsed(), self.disk.io().since(&io0));
+        Ok((answer, metrics))
     }
 
     /// Raw I/O counters of the underlying disk (for experiment harnesses).

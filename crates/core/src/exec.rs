@@ -18,8 +18,14 @@
 //!   relation streams tuple-at-a-time;
 //! * **group aggregation** — the pipelined T1/T2/JA′ (COUNT′) evaluation with
 //!   the left-outer-join IF-THEN-ELSE branch for `COUNT` (Section 6).
+//!
+//! Every operator registers itself in the executor's [`QueryMetrics`]
+//! registry and accumulates exact counters there (see [`crate::metrics`] for
+//! the determinism contract). The legacy [`ExecStats`] summary is *derived*
+//! from the registry by [`Executor::stats`].
 
 use crate::error::{EngineError, Result};
+use crate::metrics::{OpKind, OperatorMetrics, QueryMetrics};
 use crate::naive::apply_aggregate;
 use crate::plan::{
     AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable, UnnestPlan,
@@ -27,8 +33,9 @@ use crate::plan::{
 use fuzzy_core::{interval_order, CmpOp, Degree, Value};
 use fuzzy_rel::{Attribute, Relation, Schema, StoredTable, Tuple};
 use fuzzy_sql::{AggFunc, Threshold};
-use fuzzy_storage::{external_sort_parallel, BufferPool, SimDisk, SortStats};
+use fuzzy_storage::{external_sort_parallel, BufferPool, IoSnapshot, SimDisk};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Execution configuration: the buffer and sort memory budgets, in pages.
 /// The paper's experiments use a 2 MB buffer of 8 KB pages (256 frames).
@@ -80,8 +87,9 @@ impl Default for ExecConfig {
     }
 }
 
-/// CPU-side counters the physical operators accumulate (I/O counts live on
-/// the simulated disk).
+/// CPU-side counter summary, derived from the per-operator registry (I/O
+/// counts live on the simulated disk). Kept for experiment harnesses that
+/// need the paper's Table 3 breakdown without walking operators.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
     /// Tuple pairs examined by join windows or nested loops.
@@ -103,11 +111,23 @@ pub struct ExecStats {
     pub max_window: u64,
 }
 
-impl ExecStats {
-    fn absorb_sort(&mut self, s: &SortStats) {
-        self.sort_comparisons += s.comparisons;
-        self.sort_runs += s.initial_runs as u64;
-    }
+/// The outcome of evaluating one candidate join pair: its contribution degree
+/// (or `None`), how many value-level comparisons the evaluation cost, and
+/// whether a positive pair was discarded by a pushed-down threshold. Both the
+/// serial and the parallel join paths count from this one structure, which is
+/// what makes their metrics bit-identical.
+pub(crate) struct PairOutcome {
+    pub(crate) degree: Option<Degree>,
+    pub(crate) comparisons: u32,
+    pub(crate) pruned: bool,
+}
+
+/// An open operator in the metrics registry: remembers the I/O level and the
+/// clock at `begin_op` so `end_op` can charge the deltas.
+pub(crate) struct OpGuard {
+    pub(crate) id: usize,
+    io0: IoSnapshot,
+    t0: Instant,
 }
 
 /// The physical executor. Temporary files live on the same simulated disk as
@@ -115,8 +135,7 @@ impl ExecStats {
 pub struct Executor {
     disk: SimDisk,
     config: ExecConfig,
-    /// Statistics of the current/last `run` call.
-    pub stats: ExecStats,
+    metrics: QueryMetrics,
     temp_counter: u64,
     /// Optional column-statistics registry consulted by the join-order
     /// optimizer.
@@ -260,7 +279,7 @@ impl Executor {
         Executor {
             disk: disk.clone(),
             config,
-            stats: ExecStats::default(),
+            metrics: QueryMetrics::default(),
             temp_counter: 0,
             statistics: None,
         }
@@ -286,6 +305,56 @@ impl Executor {
         self.config
     }
 
+    /// The per-operator metrics registry of the current/last run.
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.metrics
+    }
+
+    /// Takes ownership of the registry, leaving an empty one behind.
+    pub fn take_metrics(&mut self) -> QueryMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// The legacy counter summary, derived from the registry: pair counts and
+    /// the window maximum aggregate over every operator; sort comparisons,
+    /// runs, I/O, and CPU over the sort operators.
+    pub fn stats(&self) -> ExecStats {
+        let mut s = ExecStats::default();
+        for n in self.metrics.ops() {
+            s.pairs_examined += n.metrics.pairs_examined;
+            s.max_window = s.max_window.max(n.metrics.max_window);
+            if n.kind == OpKind::Sort {
+                s.sort_comparisons += n.metrics.sort_comparisons;
+                s.sort_runs += n.metrics.sort_runs;
+                s.sort_reads += n.metrics.page_reads;
+                s.sort_writes += n.metrics.page_writes;
+                s.sort_cpu += n.wall;
+            }
+        }
+        s
+    }
+
+    /// Clears the registry for a fresh run.
+    pub(crate) fn metrics_reset(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Opens an operator node; close it with [`Executor::end_op`].
+    pub(crate) fn begin_op(&mut self, kind: OpKind, label: String) -> OpGuard {
+        OpGuard { id: self.metrics.begin(kind, label), io0: self.disk.io(), t0: Instant::now() }
+    }
+
+    /// Folds locally accumulated counters into an open operator node.
+    pub(crate) fn absorb_op(&mut self, g: &OpGuard, m: &OperatorMetrics) {
+        self.metrics.op_mut(g.id).absorb(m);
+    }
+
+    /// Closes an operator node, charging its wall time and I/O delta.
+    pub(crate) fn end_op(&mut self, g: OpGuard) {
+        let io = self.disk.io().since(&g.io0);
+        self.metrics.finish(g.id, g.t0.elapsed(), io);
+    }
+
     /// A buffer pool sized for a join-phase scan.
     pub(crate) fn pool_for_join(&self) -> BufferPool {
         self.pool(self.config.buffer_pages)
@@ -306,9 +375,9 @@ impl Executor {
         format!("__tmp_{tag}_{}", self.temp_counter)
     }
 
-    /// Runs an unnested plan, resetting statistics.
+    /// Runs an unnested plan, resetting the metrics registry.
     pub fn run(&mut self, plan: &UnnestPlan) -> Result<Relation> {
-        self.stats = ExecStats::default();
+        self.metrics_reset();
         match plan {
             UnnestPlan::Flat(p) => self.run_flat(p),
             UnnestPlan::Anti(p) => self.run_anti(p),
@@ -326,7 +395,12 @@ impl Executor {
     /// below it, and fuzzy AND cannot recover). With no predicates and no
     /// threshold the input passes through untouched.
     pub(crate) fn filter_scan(&mut self, t: &PlanTable, min_degree: Degree) -> Result<StoredTable> {
+        let g = self.begin_op(OpKind::Scan, format!("scan {}", t.binding));
         if t.local_preds.is_empty() && !min_degree.is_positive() {
+            let m = self.metrics.op_mut(g.id);
+            m.tuples_in = t.table.num_tuples();
+            m.tuples_out = t.table.num_tuples();
+            self.end_op(g);
             return Ok(t.table.clone());
         }
         let layout = Layout::of_table(t);
@@ -340,10 +414,13 @@ impl Executor {
             t.table.min_record_bytes(),
         );
         let mut w = out.file().bulk_writer();
+        let mut m = OperatorMetrics::default();
         for tuple in t.table.scan(&pool) {
             let mut tuple = tuple?;
+            m.tuples_in += 1;
             let mut d = tuple.degree;
             for p in &preds {
+                m.fuzzy_comparisons += 1;
                 d = d.and(p.eval(&tuple.values));
                 if !d.is_positive() {
                     break;
@@ -351,24 +428,29 @@ impl Executor {
             }
             if d.is_positive() && d.meets(min_degree, false) {
                 tuple.degree = d;
+                m.tuples_out += 1;
                 w.append(&tuple.encode(out.min_record_bytes()))?;
+            } else if d.is_positive() {
+                m.pairs_pruned += 1;
             }
         }
         w.finish()?;
+        m.add_pool(&pool.stats());
+        self.absorb_op(&g, &m);
+        self.end_op(g);
         Ok(out)
     }
 
     /// Sorts a table by the interval order `⪯` of the α-cut intervals on
     /// attribute `attr` (α = 0 is the paper's support order), attributing
-    /// its CPU time and I/O to the sort-phase counters.
+    /// its CPU time and I/O to a dedicated sort operator node.
     fn sort_table(
         &mut self,
         table: &StoredTable,
         attr: usize,
         alpha: Degree,
     ) -> Result<StoredTable> {
-        let io_before = self.disk.io();
-        let started = std::time::Instant::now();
+        let g = self.begin_op(OpKind::Sort, format!("sort {} by #{attr}", table.name()));
         let (file, stats) = external_sort_parallel(
             &self.disk,
             table.file(),
@@ -380,19 +462,21 @@ impl Executor {
                 interval_order::cmp_values_at(&va, &vb, alpha)
             },
         )?;
-        self.stats.sort_cpu += started.elapsed();
-        let io = self.disk.io().since(&io_before);
-        self.stats.sort_reads += io.reads;
-        self.stats.sort_writes += io.writes;
-        self.stats.absorb_sort(&stats);
+        let m = self.metrics.op_mut(g.id);
+        m.tuples_in = table.num_tuples();
+        m.tuples_out = table.num_tuples();
+        m.sort_runs = stats.initial_runs as u64;
+        m.sort_comparisons = stats.comparisons;
+        self.end_op(g);
         Ok(table.with_file(self.temp_name("sorted"), file))
     }
 
     /// Streams the sorted outer relation against the sorted inner one,
-    /// invoking `visit(r, Rng(r))` once per outer tuple (with an empty slice
-    /// when `Rng(r) = ∅`). The window may include dangling tuples whose join
-    /// degree against `r` is 0 — Section 3's caveat; callers skip them via
-    /// the predicate degree.
+    /// invoking `visit(r, Rng(r), m)` once per outer tuple (with an empty
+    /// slice when `Rng(r) = ∅`); `m` is the operator's counter set. The
+    /// window may include dangling tuples whose join degree against `r` is
+    /// 0 — Section 3's caveat; callers skip them via the predicate degree.
+    #[allow(clippy::too_many_arguments)]
     fn merge_window<F>(
         &mut self,
         outer: &StoredTable,
@@ -400,19 +484,23 @@ impl Executor {
         inner: &StoredTable,
         iattr: usize,
         alpha: Degree,
+        kind: OpKind,
+        label: String,
         mut visit: F,
     ) -> Result<()>
     where
-        F: FnMut(&Tuple, &[Tuple], &mut ExecStats) -> Result<()>,
+        F: FnMut(&Tuple, &[Tuple], &mut OperatorMetrics) -> Result<()>,
     {
+        let g = self.begin_op(kind, label);
         // One frame for the outer scan; the rest serve the window's pages.
         let opool = self.pool(1);
         let ipool = self.pool(self.config.buffer_pages.saturating_sub(1).max(1));
         let mut inner_scan = inner.scan(&ipool).peekable();
         let mut window: VecDeque<Tuple> = VecDeque::new();
-        let mut stats = self.stats;
+        let mut m = OperatorMetrics::default();
         for r in outer.scan(&opool) {
             let r = r?;
+            m.tuples_in += 1;
             let rv = &r.values[oattr];
             // Drop inner tuples wholly before rv: they precede every later
             // outer range as well (outer is sorted by left endpoints).
@@ -437,6 +525,7 @@ impl Executor {
                     break; // first tuple past Rng(r); keep it for later outers
                 }
                 let s = inner_scan.next().expect("peeked")?;
+                m.tuples_in += 1;
                 if !interval_order::strictly_before_at(&s.values[iattr], rv, alpha) {
                     window.push_back(s);
                 }
@@ -444,11 +533,14 @@ impl Executor {
             }
             window.make_contiguous();
             let (slice, _) = window.as_slices();
-            stats.pairs_examined += slice.len() as u64;
-            stats.max_window = stats.max_window.max(slice.len() as u64);
-            visit(&r, slice, &mut stats)?;
+            m.pairs_examined += slice.len() as u64;
+            m.max_window = m.max_window.max(slice.len() as u64);
+            visit(&r, slice, &mut m)?;
         }
-        self.stats = stats;
+        m.add_pool(&opool.stats());
+        m.add_pool(&ipool.stats());
+        self.absorb_op(&g, &m);
+        self.end_op(g);
         Ok(())
     }
 
@@ -467,7 +559,9 @@ impl Executor {
     /// recorded windows cover the full `Rng(r)` of its outers — a window can
     /// span chunk boundaries, so workers read overlapping slices of the
     /// inner; no pair is lost at a cut. Workers evaluate the pure
-    /// `pair_degree` for their pairs in outer order.
+    /// `pair_eval` for their pairs in outer order and accumulate comparison
+    /// and prune counts per chunk; chunk sums are order-independent, so the
+    /// operator's counters equal the serial ones exactly.
     ///
     /// Phase 3 concatenates the per-chunk emissions in chunk order on the
     /// calling thread, so the sink observes exactly the serial emission
@@ -484,12 +578,15 @@ impl Executor {
         inner: &StoredTable,
         iattr: usize,
         alpha: Degree,
-        pair_degree: &D,
+        kind: OpKind,
+        label: String,
+        pair_eval: &D,
         sink: &mut JoinSink<'_>,
     ) -> Result<()>
     where
-        D: Fn(&Tuple, &Tuple) -> Option<Degree> + Sync,
+        D: Fn(&Tuple, &Tuple) -> PairOutcome + Sync,
     {
+        let g = self.begin_op(kind, label);
         // Phase 1: serial I/O and window replay (identical to merge_window).
         let opool = self.pool(1);
         let ipool = self.pool(self.config.buffer_pages.saturating_sub(1).max(1));
@@ -498,9 +595,10 @@ impl Executor {
         let mut outer_vec: Vec<Tuple> = Vec::new();
         let mut windows: Vec<Vec<u32>> = Vec::new();
         let mut window: VecDeque<u32> = VecDeque::new();
-        let mut stats = self.stats;
+        let mut m = OperatorMetrics::default();
         for r in outer.scan(&opool) {
             let r = r?;
+            m.tuples_in += 1;
             let rv = &r.values[oattr];
             while let Some(&front) = window.front() {
                 if interval_order::strictly_before_at(
@@ -526,6 +624,7 @@ impl Executor {
                     break; // first tuple past Rng(r); keep it for later outers
                 }
                 let s = inner_scan.next().expect("peeked")?;
+                m.tuples_in += 1;
                 let keep = !interval_order::strictly_before_at(&s.values[iattr], rv, alpha);
                 let idx = u32::try_from(inner_vec.len())
                     .map_err(|_| EngineError::Unsupported("inner relation too large".into()))?;
@@ -534,12 +633,11 @@ impl Executor {
                     window.push_back(idx);
                 }
             }
-            stats.pairs_examined += window.len() as u64;
-            stats.max_window = stats.max_window.max(window.len() as u64);
+            m.pairs_examined += window.len() as u64;
+            m.max_window = m.max_window.max(window.len() as u64);
             windows.push(window.iter().copied().collect());
             outer_vec.push(r);
         }
-        self.stats = stats;
 
         // Phase 2: contiguous outer chunks balanced by window pair counts.
         let threads = self.config.threads.min(outer_vec.len()).max(1);
@@ -558,7 +656,8 @@ impl Executor {
         }
         chunks.push(start..outer_vec.len());
 
-        let emissions: Vec<Vec<(u32, u32, Degree)>> = std::thread::scope(|scope| {
+        type ChunkResult = (Vec<(u32, u32, Degree)>, u64, u64);
+        let emissions: Vec<ChunkResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|range| {
@@ -568,15 +667,19 @@ impl Executor {
                     let windows = &windows;
                     scope.spawn(move || {
                         let mut out: Vec<(u32, u32, Degree)> = Vec::new();
+                        let (mut comparisons, mut pruned) = (0u64, 0u64);
                         for i in range {
                             let r = &outer_vec[i];
                             for &j in &windows[i] {
-                                if let Some(d) = pair_degree(r, &inner_vec[j as usize]) {
+                                let o = pair_eval(r, &inner_vec[j as usize]);
+                                comparisons += u64::from(o.comparisons);
+                                pruned += u64::from(o.pruned);
+                                if let Some(d) = o.degree {
                                     out.push((i as u32, j, d));
                                 }
                             }
                         }
-                        out
+                        (out, comparisons, pruned)
                     })
                 })
                 .collect();
@@ -584,11 +687,18 @@ impl Executor {
         });
 
         // Phase 3: serial, order-preserving emission.
-        for chunk in emissions {
+        for (chunk, comparisons, pruned) in emissions {
+            m.fuzzy_comparisons += comparisons;
+            m.pairs_pruned += pruned;
             for (i, j, d) in chunk {
+                m.tuples_out += 1;
                 sink.emit(&outer_vec[i as usize], &inner_vec[j as usize], d)?;
             }
         }
+        m.add_pool(&opool.stats());
+        m.add_pool(&ipool.stats());
+        self.absorb_op(&g, &m);
+        self.end_op(g);
         Ok(())
     }
 
@@ -599,18 +709,21 @@ impl Executor {
     /// per outer tuple, `observe` is invoked per (outer, inner) pair, and
     /// `finalize` fires once per outer tuple after its block's inner scan —
     /// which is what lets this one operator evaluate *nested* queries (the
-    /// per-tuple temporary relation T(r) accumulates in `A`).
+    /// per-tuple temporary relation T(r) accumulates in `A`). Each closure
+    /// receives the operator's counter set.
     pub(crate) fn block_nested_loop<A>(
         &mut self,
         outer: &StoredTable,
         inner: &StoredTable,
-        mut init: impl FnMut(&Tuple) -> A,
-        mut observe: impl FnMut(&mut A, &Tuple, &Tuple, &mut ExecStats) -> Result<()>,
-        mut finalize: impl FnMut(Tuple, A) -> Result<()>,
+        label: String,
+        mut init: impl FnMut(&Tuple, &mut OperatorMetrics) -> A,
+        mut observe: impl FnMut(&mut A, &Tuple, &Tuple, &mut OperatorMetrics) -> Result<()>,
+        mut finalize: impl FnMut(Tuple, A, &mut OperatorMetrics) -> Result<()>,
     ) -> Result<()> {
+        let g = self.begin_op(OpKind::Join, label);
         let block_pages = self.config.buffer_pages.saturating_sub(1).max(1) as u64;
         let n_pages = outer.num_pages();
-        let mut stats = self.stats;
+        let mut m = OperatorMetrics::default();
         let mut block_start = 0u64;
         while block_start < n_pages {
             let block_end = (block_start + block_pages).min(n_pages);
@@ -621,7 +734,8 @@ impl Executor {
                 let page = fuzzy_storage::Page::from_bytes(self.disk.read_page(pid)?)?;
                 for rec in page.records() {
                     let t = Tuple::decode(rec)?;
-                    let a = init(&t);
+                    m.tuples_in += 1;
+                    let a = init(&t, &mut m);
                     block.push((t, a));
                 }
             }
@@ -629,18 +743,40 @@ impl Executor {
             let ipool = self.pool(1);
             for s in inner.scan(&ipool) {
                 let s = s?;
+                m.tuples_in += 1;
                 for (r, a) in &mut block {
-                    stats.pairs_examined += 1;
-                    observe(a, r, &s, &mut stats)?;
+                    m.pairs_examined += 1;
+                    observe(a, r, &s, &mut m)?;
                 }
             }
+            m.add_pool(&ipool.stats());
             for (r, a) in block {
-                finalize(r, a)?;
+                finalize(r, a, &mut m)?;
             }
             block_start = block_end;
         }
-        self.stats = stats;
+        self.absorb_op(&g, &m);
+        self.end_op(g);
         Ok(())
+    }
+
+    /// Final answer assembly as a registered operator: fuzzy-OR dedup plus
+    /// the `WITH` threshold. `tuples_in` is the emitted row count,
+    /// `tuples_out` the answer cardinality.
+    pub(crate) fn finish_op(
+        &mut self,
+        schema: Schema,
+        rows: Vec<(Vec<Value>, Degree)>,
+        threshold: Option<Threshold>,
+    ) -> Relation {
+        let g = self.begin_op(OpKind::Output, "output".to_string());
+        let emitted = rows.len() as u64;
+        let rel = finish(schema, rows, threshold);
+        let m = self.metrics.op_mut(g.id);
+        m.tuples_in = emitted;
+        m.tuples_out = rel.len() as u64;
+        self.end_op(g);
+        rel
     }
 
     // -----------------------------------------------------------------------
@@ -692,18 +828,26 @@ impl Executor {
             // Single table: stream the filtered scan straight into the
             // projection.
             let bound = layout.bind_all(&remaining)?;
+            let g = self.begin_op(OpKind::Scan, format!("select {}", plan.tables[0].binding));
             let pool = self.pool(2);
+            let mut m = OperatorMetrics::default();
             for t in current.scan(&pool) {
                 let t = t?;
+                m.tuples_in += 1;
                 let mut d = t.degree;
                 for b in &bound {
+                    m.fuzzy_comparisons += 1;
                     d = d.and(b.eval(&t.values));
                 }
                 if d.is_positive() {
+                    m.tuples_out += 1;
                     rows.push((project(&t, &select_idx), d));
                 }
             }
-            return Ok(finish(out_schema, rows, plan.threshold));
+            m.add_pool(&pool.stats());
+            self.absorb_op(&g, &m);
+            self.end_op(g);
+            return Ok(self.finish_op(out_schema, rows, plan.threshold));
         }
 
         for (i, t) in plan.tables.iter().enumerate().skip(1) {
@@ -751,39 +895,52 @@ impl Executor {
                         .filter(|(j, _)| *j != pos)
                         .map(|(_, p)| next_layout.bind(p))
                         .collect::<Result<_>>()?;
-                    // The degree a joined pair contributes, or `None` when it
-                    // cannot reach the answer. Pure (no captured mutable
-                    // state), so the parallel join may evaluate it from worker
-                    // threads. Pairs whose degree already falls below a
-                    // pushed-down `WITH D > z` threshold are pruned here —
-                    // fuzzy AND cannot recover them, and dropping them now
-                    // keeps them out of materialized intermediates and the
+                    // The outcome a joined pair contributes. Pure (no captured
+                    // mutable state), so the parallel join may evaluate it
+                    // from worker threads; both paths count its comparisons
+                    // and prunes identically. Pairs whose degree already falls
+                    // below a pushed-down `WITH D > z` threshold are pruned
+                    // here — fuzzy AND cannot recover them, and dropping them
+                    // now keeps them out of materialized intermediates and the
                     // external sorts of later join steps.
-                    let pair_degree = |r: &Tuple, s: &Tuple| -> Option<Degree> {
+                    let pair_eval = |r: &Tuple, s: &Tuple| -> PairOutcome {
+                        let mut comparisons = 1u32;
                         let d_join = r.values[cur_idx].compare(CmpOp::Eq, &s.values[next_idx]);
                         let mut d = r.degree.and(s.degree).and(d_join);
                         if !d.is_positive() {
-                            return None;
+                            return PairOutcome { degree: None, comparisons, pruned: false };
                         }
                         for b in &residuals {
+                            comparisons += 1;
                             d = d.and(b.eval_pair(&r.values, &s.values));
                             if !d.is_positive() {
-                                return None;
+                                return PairOutcome { degree: None, comparisons, pruned: false };
                             }
                         }
                         if !d.meets(alpha, false) {
-                            return None;
+                            return PairOutcome { degree: None, comparisons, pruned: true };
                         }
-                        Some(d)
+                        PairOutcome { degree: Some(d), comparisons, pruned: false }
                     };
-                    let handle = |sink: &mut JoinSink<'_>, r: &Tuple, s: &Tuple| -> Result<()> {
-                        match pair_degree(r, s) {
-                            Some(d) => sink.emit(r, s, d),
+                    let handle = |sink: &mut JoinSink<'_>,
+                                  r: &Tuple,
+                                  s: &Tuple,
+                                  m: &mut OperatorMetrics|
+                     -> Result<()> {
+                        let o = pair_eval(r, s);
+                        m.fuzzy_comparisons += u64::from(o.comparisons);
+                        m.pairs_pruned += u64::from(o.pruned);
+                        match o.degree {
+                            Some(d) => {
+                                m.tuples_out += 1;
+                                sink.emit(r, s, d)
+                            }
                             None => Ok(()),
                         }
                     };
                     match self.config.join_method {
                         JoinMethod::Merge => {
+                            let label = format!("merge-join +{}", t.binding);
                             let sorted_cur = self.sort_table(&current, cur_idx, alpha)?;
                             let sorted_next = self.sort_table(&filtered[i], next_idx, alpha)?;
                             if self.config.threads > 1 {
@@ -793,7 +950,9 @@ impl Executor {
                                     &sorted_next,
                                     next_idx,
                                     alpha,
-                                    &pair_degree,
+                                    OpKind::Join,
+                                    label,
+                                    &pair_eval,
                                     &mut sink,
                                 )?;
                             } else {
@@ -803,9 +962,11 @@ impl Executor {
                                     &sorted_next,
                                     next_idx,
                                     alpha,
-                                    |r, rng, _| {
+                                    OpKind::Join,
+                                    label,
+                                    |r, rng, m| {
                                         for s in rng {
-                                            handle(&mut sink, r, s)?;
+                                            handle(&mut sink, r, s, m)?;
                                         }
                                         Ok(())
                                     },
@@ -821,7 +982,8 @@ impl Executor {
                                 &next,
                                 next_idx,
                                 alpha,
-                                |r, s, _| handle(&mut sink, r, s),
+                                format!("partitioned-join +{}", t.binding),
+                                |r, s, m| handle(&mut sink, r, s, m),
                             )?;
                         }
                     }
@@ -834,24 +996,29 @@ impl Executor {
                     self.block_nested_loop(
                         &current,
                         &inner,
-                        |_| (),
-                        |_, r, s, _| {
+                        format!("nested-loop +{}", t.binding),
+                        |_, _| (),
+                        |_, r, s, m| {
                             let mut d = r.degree.and(s.degree);
                             if !d.is_positive() {
                                 return Ok(());
                             }
                             for b in &residuals {
+                                m.fuzzy_comparisons += 1;
                                 d = d.and(b.eval_pair(&r.values, &s.values));
                                 if !d.is_positive() {
                                     return Ok(());
                                 }
                             }
                             if d.meets(alpha, false) {
+                                m.tuples_out += 1;
                                 sink.emit(r, s, d)?;
+                            } else {
+                                m.pairs_pruned += 1;
                             }
                             Ok(())
                         },
-                        |_, _| Ok(()),
+                        |_, _, _| Ok(()),
                     )?;
                 }
             }
@@ -860,7 +1027,7 @@ impl Executor {
                 current = out;
             }
         }
-        Ok(finish(out_schema, rows, plan.threshold))
+        Ok(self.finish_op(out_schema, rows, plan.threshold))
     }
 
     // -----------------------------------------------------------------------
@@ -884,15 +1051,17 @@ impl Executor {
         };
         // The negated contribution of one inner tuple to the MIN(D) group of
         // one outer tuple: 1 − min(μ_S∧p₂, d(pair preds) [, 1 − d(Y op Z)]).
-        let contribution = |r: &Tuple, s: &Tuple| -> Degree {
+        let contribution = |r: &Tuple, s: &Tuple, m: &mut OperatorMetrics| -> Degree {
             let mut inner_d = s.degree;
             for p in &pair {
+                m.fuzzy_comparisons += 1;
                 inner_d = inner_d.and(p.eval_pair(&r.values, &s.values));
                 if !inner_d.is_positive() {
                     return Degree::ONE; // neutral
                 }
             }
             if let Some(b) = &kind_extra {
+                m.fuzzy_comparisons += 1;
                 inner_d = inner_d.and(b.eval_pair(&r.values, &s.values).not());
             }
             inner_d.not()
@@ -917,15 +1086,18 @@ impl Executor {
                     &sorted_i,
                     icol.attr,
                     Degree::ZERO,
-                    |r, rng, _| {
+                    OpKind::Anti,
+                    format!("anti-merge {} x {}", plan.outer.binding, plan.inner.binding),
+                    |r, rng, m| {
                         let mut acc = r.degree;
                         for s in rng {
-                            acc = acc.and(contribution(r, s));
+                            acc = acc.and(contribution(r, s, m));
                             if !acc.is_positive() {
                                 break;
                             }
                         }
                         if acc.is_positive() {
+                            m.tuples_out += 1;
                             rows.push((project(r, &select_idx), acc));
                         }
                         Ok(())
@@ -936,29 +1108,39 @@ impl Executor {
                 // Scan fallback (uncorrelated NOT IN / ALL): the inner set is
                 // built once — the unnesting benefit — then the outer streams
                 // against it.
+                let g = self.begin_op(
+                    OpKind::Anti,
+                    format!("anti-scan {} x {}", plan.outer.binding, plan.inner.binding),
+                );
                 let pool = self.pool(self.config.buffer_pages);
                 let inner_all: Vec<Tuple> =
                     inner_f.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
                 let opool = self.pool(1);
-                let mut stats = self.stats;
+                let mut m = OperatorMetrics::default();
+                m.tuples_in += inner_all.len() as u64;
                 for r in outer_f.scan(&opool) {
                     let r = r?;
+                    m.tuples_in += 1;
                     let mut acc = r.degree;
                     for s in &inner_all {
-                        stats.pairs_examined += 1;
-                        acc = acc.and(contribution(&r, s));
+                        m.pairs_examined += 1;
+                        acc = acc.and(contribution(&r, s, &mut m));
                         if !acc.is_positive() {
                             break;
                         }
                     }
                     if acc.is_positive() {
+                        m.tuples_out += 1;
                         rows.push((project(&r, &select_idx), acc));
                     }
                 }
-                self.stats = stats;
+                m.add_pool(&pool.stats());
+                m.add_pool(&opool.stats());
+                self.absorb_op(&g, &m);
+                self.end_op(g);
             }
         }
-        Ok(finish(out_schema, rows, plan.threshold))
+        Ok(self.finish_op(out_schema, rows, plan.threshold))
     }
 
     // -----------------------------------------------------------------------
@@ -984,46 +1166,62 @@ impl Executor {
 
         // Applies R.Y op1 A to one outer tuple, honouring the COUNT
         // outer-join IF-THEN-ELSE for empty groups.
-        let emit_outer =
-            |r: &Tuple, group: Option<&(Value, Degree)>, rows: &mut Vec<(Vec<Value>, Degree)>| {
-                let lhs_val = match &lhs_bound.lhs {
-                    BoundOperand::Col(i) => r.values[*i].clone(),
-                    BoundOperand::Const(v) => v.clone(),
-                };
-                let d = match group {
-                    Some((a, da)) => r.degree.and(*da).and(lhs_val.compare(op1, a)),
-                    None => {
-                        if agg == AggFunc::Count {
-                            // COUNT': [R.Y op1 T2.A : R.Y op1 0] — the ELSE branch.
-                            r.degree.and(lhs_val.compare(op1, &Value::number(0.0)))
-                        } else {
-                            Degree::ZERO // NULL aggregate satisfies nothing
-                        }
+        let emit_outer = |r: &Tuple,
+                          group: Option<&(Value, Degree)>,
+                          rows: &mut Vec<(Vec<Value>, Degree)>,
+                          m: &mut OperatorMetrics| {
+            let lhs_val = match &lhs_bound.lhs {
+                BoundOperand::Col(i) => r.values[*i].clone(),
+                BoundOperand::Const(v) => v.clone(),
+            };
+            let d = match group {
+                Some((a, da)) => {
+                    m.fuzzy_comparisons += 1;
+                    r.degree.and(*da).and(lhs_val.compare(op1, a))
+                }
+                None => {
+                    if agg == AggFunc::Count {
+                        // COUNT': [R.Y op1 T2.A : R.Y op1 0] — the ELSE branch.
+                        m.fuzzy_comparisons += 1;
+                        r.degree.and(lhs_val.compare(op1, &Value::number(0.0)))
+                    } else {
+                        Degree::ZERO // NULL aggregate satisfies nothing
                     }
-                };
-                if d.is_positive() {
-                    rows.push((project(r, &select_idx), d));
                 }
             };
+            if d.is_positive() {
+                m.tuples_out += 1;
+                rows.push((project(r, &select_idx), d));
+            }
+        };
 
         match &plan.corr {
             None => {
                 // Type A: the inner block is a constant; compute it once.
+                let g = self.begin_op(
+                    OpKind::Aggregate,
+                    format!("agg-const {} x {}", plan.outer.binding, plan.inner.binding),
+                );
                 let pool = self.pool(self.config.buffer_pages);
                 let mut set: GroupSet = GroupSet::default();
-                let mut stats = self.stats;
+                let mut m = OperatorMetrics::default();
                 for s in inner_f.scan(&pool) {
                     let s = s?;
-                    stats.pairs_examined += 1;
+                    m.tuples_in += 1;
+                    m.pairs_examined += 1;
                     set.add(s.values[agg_idx].clone(), s.degree);
                 }
-                self.stats = stats;
                 let group = set.aggregate(agg, plan.agg_degree)?;
                 let opool = self.pool(1);
                 for r in outer_f.scan(&opool) {
                     let r = r?;
-                    emit_outer(&r, group.as_ref(), &mut rows);
+                    m.tuples_in += 1;
+                    emit_outer(&r, group.as_ref(), &mut rows, &mut m);
                 }
+                m.add_pool(&pool.stats());
+                m.add_pool(&opool.stats());
+                self.absorb_op(&g, &m);
+                self.end_op(g);
             }
             Some((ucol, op2, vcol)) => {
                 let sorted_o = self.sort_table(&outer_f, ucol.attr, Degree::ZERO)?;
@@ -1043,7 +1241,9 @@ impl Executor {
                         &sorted_i,
                         vattr,
                         Degree::ZERO,
-                        |r, rng, _| {
+                        OpKind::Aggregate,
+                        format!("agg-merge {} x {}", plan.outer.binding, plan.inner.binding),
+                        |r, rng, m| {
                             let u = &r.values[uattr];
                             let hit = matches!(&cache, Some((cu, _)) if cu == u);
                             if !hit {
@@ -1051,6 +1251,7 @@ impl Executor {
                                 for s in rng {
                                     // μ_T'(u)(z) = max min(μ_S∧p₂, d(s.V = u));
                                     // op2 = Eq here.
+                                    m.fuzzy_comparisons += 1;
                                     let d = s.degree.and(s.values[vattr].compare(CmpOp::Eq, u));
                                     if d.is_positive() {
                                         set.add(s.values[agg_idx].clone(), d);
@@ -1065,7 +1266,7 @@ impl Executor {
                                 }
                             }
                             let group = cache.as_ref().expect("just set").1.as_ref();
-                            emit_outer(r, group, &mut rows);
+                            emit_outer(r, group, &mut rows, m);
                             Ok(())
                         },
                     );
@@ -1076,20 +1277,27 @@ impl Executor {
                 } else {
                     // Non-equality op2: T'(u) cannot be window-scanned; build
                     // the reduced inner set once and scan it per distinct u.
+                    let g = self.begin_op(
+                        OpKind::Aggregate,
+                        format!("agg-scan {} x {}", plan.outer.binding, plan.inner.binding),
+                    );
                     let pool = self.pool(self.config.buffer_pages);
                     let inner_all: Vec<Tuple> =
                         inner_f.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
                     let opool = self.pool(1);
                     let mut cache: Option<(Value, Option<(Value, Degree)>)> = None;
-                    let mut stats = self.stats;
+                    let mut m = OperatorMetrics::default();
+                    m.tuples_in += inner_all.len() as u64;
                     for r in sorted_o.scan(&opool) {
                         let r = r?;
+                        m.tuples_in += 1;
                         let u = &r.values[ucol.attr];
                         let hit = matches!(&cache, Some((cu, _)) if cu == u);
                         if !hit {
                             let mut set = GroupSet::default();
                             for s in &inner_all {
-                                stats.pairs_examined += 1;
+                                m.pairs_examined += 1;
+                                m.fuzzy_comparisons += 1;
                                 let d = s.degree.and(s.values[vcol.attr].compare(*op2, u));
                                 if d.is_positive() {
                                     set.add(s.values[agg_idx].clone(), d);
@@ -1098,13 +1306,16 @@ impl Executor {
                             cache = Some((u.clone(), set.aggregate(agg, plan.agg_degree)?));
                         }
                         let group = cache.as_ref().expect("just set").1.as_ref();
-                        emit_outer(&r, group, &mut rows);
+                        emit_outer(&r, group, &mut rows, &mut m);
                     }
-                    self.stats = stats;
+                    m.add_pool(&pool.stats());
+                    m.add_pool(&opool.stats());
+                    self.absorb_op(&g, &m);
+                    self.end_op(g);
                 }
             }
         }
-        Ok(finish(out_schema, rows, plan.threshold))
+        Ok(self.finish_op(out_schema, rows, plan.threshold))
     }
 }
 
@@ -1289,15 +1500,24 @@ mod tests {
         let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
         let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
         let mut windows: Vec<(f64, Vec<f64>)> = Vec::new();
-        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |r, rng, _| {
-            let key = r.values[1].interval().unwrap().0;
-            let ws = rng.iter().map(|s| s.values[1].interval().unwrap().0).collect();
-            windows.push((key, ws));
-            Ok(())
-        })
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |r, rng, _| {
+                let key = r.values[1].interval().unwrap().0;
+                let ws = rng.iter().map(|s| s.values[1].interval().unwrap().0).collect();
+                windows.push((key, ws));
+                Ok(())
+            },
+        )
         .unwrap();
         assert_eq!(windows, vec![(0.0, vec![0.0]), (10.0, vec![9.0]), (20.0, vec![15.0]),]);
-        assert_eq!(ex.stats.pairs_examined, 3);
+        assert_eq!(ex.stats().pairs_examined, 3);
     }
 
     #[test]
@@ -1310,10 +1530,19 @@ mod tests {
         let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
         let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
         let mut count = 0;
-        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |_, rng, _| {
-            count += rng.len();
-            Ok(())
-        })
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |_, rng, _| {
+                count += rng.len();
+                Ok(())
+            },
+        )
         .unwrap();
         assert_eq!(count, 3, "the wide tuple belongs to all three ranges");
     }
@@ -1334,14 +1563,38 @@ mod tests {
         let sorted_r = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
         let sorted_s = ex.sort_table(&s.table, 1, Degree::ZERO).unwrap();
         let mut seen = Vec::new();
-        ex.merge_window(&sorted_r, 1, &sorted_s, 1, Degree::ZERO, |r, rng, _| {
-            for s in rng {
-                seen.push(r.values[1].compare(CmpOp::Eq, &s.values[1]).is_positive());
-            }
-            Ok(())
-        })
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |r, rng, _| {
+                for s in rng {
+                    seen.push(r.values[1].compare(CmpOp::Eq, &s.values[1]).is_positive());
+                }
+                Ok(())
+            },
+        )
         .unwrap();
         assert_eq!(seen, vec![true, false], "join for [10,100], dangling for [12,20]");
+    }
+
+    #[test]
+    fn operators_register_in_the_metrics_registry() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted = ex.sort_table(&r.table, 1, Degree::ZERO).unwrap();
+        let _ = sorted;
+        let ops = ex.metrics().ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::Sort);
+        assert_eq!(ops[0].label, "sort R by #1");
+        assert_eq!(ops[0].metrics.tuples_in, 2);
+        assert_eq!(ex.stats().sort_runs, ops[0].metrics.sort_runs);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` rendering.
+//!
+//! [`render_explain`] produces the *deterministic* part: the query's
+//! classified type, the strategy the engine would choose under
+//! [`crate::Strategy::Unnest`] (an unnested plan or the naive fallback), the
+//! plan tree, and closed-form cost estimates derived only from catalog
+//! cardinalities and the execution configuration. Golden tests pin this
+//! output byte-for-byte.
+//!
+//! [`render_actual`] appends the *measured* part after a run: one line per
+//! registered operator with its exact counters (deterministic across thread
+//! counts) and its wall time (not deterministic — which is why golden tests
+//! cover only the `EXPLAIN` half).
+
+use crate::engine::QueryOutcome;
+use crate::error::{EngineError, Result};
+use crate::exec::ExecConfig;
+use crate::plan::UnnestPlan;
+use crate::stats_histogram::StatsRegistry;
+use crate::unnest::build_plan;
+use fuzzy_rel::Catalog;
+
+/// Ceiling of log2, with `log2_ceil(0) = log2_ceil(1) = 0`.
+fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        u64::from(64 - (n - 1).leading_zeros())
+    }
+}
+
+/// Renders the deterministic `EXPLAIN` text for a query: class, strategy,
+/// plan tree (reordered exactly as the executor would reorder it), and cost
+/// estimates.
+pub fn render_explain(
+    q: &fuzzy_sql::Query,
+    catalog: &Catalog,
+    config: &ExecConfig,
+    statistics: Option<&StatsRegistry>,
+) -> Result<String> {
+    let class = fuzzy_sql::classify(q);
+    let mut out = format!("query class: {class:?} (depth {})\n", q.depth());
+    match build_plan(q, catalog) {
+        Ok(mut plan) => {
+            out.push_str(&format!("strategy: unnest:{}\n", plan.label()));
+            // Mirror the executor's join reordering so the rendered tree is
+            // the tree that runs.
+            if config.reorder_joins {
+                if let UnnestPlan::Flat(p) = &mut plan {
+                    if p.tables.len() > 2 && crate::optimizer::reorder_joins_with(p, statistics) {
+                        let order: Vec<&str> =
+                            p.tables.iter().map(|t| t.binding.as_str()).collect();
+                        out.push_str(&format!("join order: {}\n", order.join(" -> ")));
+                    }
+                }
+            }
+            out.push_str(&plan.explain());
+            out.push_str(&render_estimates(&plan, config));
+        }
+        Err(EngineError::Unsupported(msg)) => {
+            out.push_str("strategy: naive fallback\n");
+            out.push_str(&format!("naive fallback: {msg}\n"));
+            for t in &q.from {
+                if let Some(stored) = catalog.table(&t.table) {
+                    out.push_str(&format!(
+                        "  from {} ({} tuples, {} pages)\n",
+                        t.binding_name(),
+                        stored.num_tuples(),
+                        stored.num_pages()
+                    ));
+                }
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(out)
+}
+
+/// Closed-form cost estimates for a plan: the external-sort work on each
+/// base relation the plan sorts and the nested-loop pair bound the unnesting
+/// avoids (Section 3's `O(n log n)` vs `n_R × n_S` argument, per query).
+fn render_estimates(plan: &UnnestPlan, config: &ExecConfig) -> String {
+    let sort_pages = config.sort_pages.max(1) as u64;
+    let mut out = String::new();
+    let sort_line = |binding: &str, n: u64, b: u64, out: &mut String| {
+        out.push_str(&format!(
+            "est: sort {binding}: ~{} comparisons, {} initial runs\n",
+            n * log2_ceil(n),
+            b.div_ceil(sort_pages).max(u64::from(n > 0))
+        ));
+    };
+    match plan {
+        UnnestPlan::Flat(p) => {
+            if p.tables.len() > 1 {
+                for t in &p.tables {
+                    sort_line(&t.binding, t.table.num_tuples(), t.table.num_pages(), &mut out);
+                }
+            }
+            let bound =
+                p.tables.iter().fold(1u64, |acc, t| acc.saturating_mul(t.table.num_tuples()));
+            out.push_str(&format!("est: nested-loop pair bound: {bound}\n"));
+        }
+        UnnestPlan::Anti(p) => {
+            if p.window.is_some() {
+                for t in [&p.outer, &p.inner] {
+                    sort_line(&t.binding, t.table.num_tuples(), t.table.num_pages(), &mut out);
+                }
+            }
+            let bound = p.outer.table.num_tuples().saturating_mul(p.inner.table.num_tuples());
+            out.push_str(&format!("est: nested-loop pair bound: {bound}\n"));
+        }
+        UnnestPlan::Agg(p) => {
+            if let Some((_, op2, _)) = &p.corr {
+                sort_line(
+                    &p.outer.binding,
+                    p.outer.table.num_tuples(),
+                    p.outer.table.num_pages(),
+                    &mut out,
+                );
+                if *op2 == fuzzy_core::CmpOp::Eq {
+                    sort_line(
+                        &p.inner.binding,
+                        p.inner.table.num_tuples(),
+                        p.inner.table.num_pages(),
+                        &mut out,
+                    );
+                }
+            }
+            let bound = p.outer.table.num_tuples().saturating_mul(p.inner.table.num_tuples());
+            out.push_str(&format!("est: nested-loop pair bound: {bound}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the measured half of `EXPLAIN ANALYZE` from a finished run: one
+/// line per operator (exact counters plus wall time) and the answer
+/// cardinality.
+pub fn render_actual(outcome: &QueryOutcome) -> String {
+    let mut out = String::from("actual:\n");
+    for n in outcome.metrics.ops() {
+        let m = &n.metrics;
+        out.push_str(&format!(
+            "  [{}] {}: in={} out={} t={:.3}ms",
+            n.kind.name(),
+            n.label,
+            m.tuples_in,
+            m.tuples_out,
+            n.wall.as_secs_f64() * 1e3
+        ));
+        if m.pairs_examined > 0 {
+            out.push_str(&format!(" pairs={}", m.pairs_examined));
+        }
+        if m.fuzzy_comparisons > 0 {
+            out.push_str(&format!(" cmp={}", m.fuzzy_comparisons));
+        }
+        if m.pairs_pruned > 0 {
+            out.push_str(&format!(" pruned={}", m.pairs_pruned));
+        }
+        if m.max_window > 0 {
+            out.push_str(&format!(" win={}", m.max_window));
+        }
+        if m.sort_runs > 0 {
+            out.push_str(&format!(" runs={}", m.sort_runs));
+        }
+        if m.sort_comparisons > 0 {
+            out.push_str(&format!(" scmp={}", m.sort_comparisons));
+        }
+        if m.buffer_requests > 0 {
+            out.push_str(&format!(
+                " buf={}/{}/{}",
+                m.buffer_requests, m.buffer_hits, m.buffer_misses
+            ));
+        }
+        if m.page_reads + m.page_writes > 0 {
+            out.push_str(&format!(" io={}r+{}w", m.page_reads, m.page_writes));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("answer: {} rows\n", outcome.answer.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_small_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+}

@@ -23,14 +23,18 @@
 //! the trade the band-join literature studies.
 
 use crate::error::Result;
-use crate::exec::{ExecStats, Executor};
+use crate::exec::Executor;
+use crate::metrics::{OpKind, OperatorMetrics};
 use fuzzy_core::{interval_order, Degree};
 use fuzzy_rel::{StoredTable, Tuple};
 
 impl Executor {
     /// Streams the joining pairs of `outer ⋈ inner` on the given attributes
     /// via partitioning. `visit` receives every pair whose α-cut intervals
-    /// intersect (possibly more than once, across shared partitions).
+    /// intersect (possibly more than once, across shared partitions), plus
+    /// the operator's counter set. The whole join — sampling, partitioning,
+    /// and the per-partition window scans — registers as one operator node.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn partitioned_join<F>(
         &mut self,
         outer: &StoredTable,
@@ -38,26 +42,29 @@ impl Executor {
         inner: &StoredTable,
         iattr: usize,
         alpha: Degree,
+        label: String,
         mut visit: F,
     ) -> Result<()>
     where
-        F: FnMut(&Tuple, &Tuple, &mut ExecStats) -> Result<()>,
+        F: FnMut(&Tuple, &Tuple, &mut OperatorMetrics) -> Result<()>,
     {
+        let g = self.begin_op(OpKind::Join, label);
+        let mut m = OperatorMetrics::default();
         // --- 1. Sample the inner relation's value distribution. -------------
         // Partition count: each inner partition should fit in roughly half
         // the buffer, leaving room for the outer side.
         let budget = (self.config().buffer_pages / 2).max(1) as u64;
         let parts = inner.num_pages().div_ceil(budget).max(1) as usize;
         let boundaries = if parts > 1 {
-            self.sample_boundaries(inner, iattr, alpha, parts)?
+            self.sample_boundaries(inner, iattr, alpha, parts, &mut m)?
         } else {
             Vec::new()
         };
         let ranges = boundaries.len() + 1;
 
         // --- 2. Partition both relations (replicating spanning tuples). -----
-        let outer_parts = self.partition(outer, oattr, alpha, &boundaries, "pout")?;
-        let inner_parts = self.partition(inner, iattr, alpha, &boundaries, "pin")?;
+        let outer_parts = self.partition(outer, oattr, alpha, &boundaries, "pout", &mut m)?;
+        let inner_parts = self.partition(inner, iattr, alpha, &boundaries, "pin", &mut m)?;
         debug_assert_eq!(outer_parts.len(), ranges);
         debug_assert_eq!(inner_parts.len(), ranges);
 
@@ -69,13 +76,13 @@ impl Executor {
             let pool = self.pool_for_join();
             let mut os: Vec<Tuple> = op.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
             let mut is: Vec<Tuple> = ip.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
+            m.tuples_in += os.len() as u64 + is.len() as u64;
             os.sort_by(|a, b| {
                 interval_order::cmp_values_at(&a.values[oattr], &b.values[oattr], alpha)
             });
             is.sort_by(|a, b| {
                 interval_order::cmp_values_at(&a.values[iattr], &b.values[iattr], alpha)
             });
-            let mut stats = self.stats;
             let mut start = 0usize;
             for r in &os {
                 let rv = &r.values[oattr];
@@ -84,6 +91,7 @@ impl Executor {
                 {
                     start += 1;
                 }
+                let mut window = 0u64;
                 for s in is[start..].iter() {
                     if interval_order::strictly_after_at(&s.values[iattr], rv, alpha) {
                         break;
@@ -91,12 +99,16 @@ impl Executor {
                     if interval_order::strictly_before_at(&s.values[iattr], rv, alpha) {
                         continue; // dangling within the window
                     }
-                    stats.pairs_examined += 1;
-                    visit(r, s, &mut stats)?;
+                    m.pairs_examined += 1;
+                    window += 1;
+                    visit(r, s, &mut m)?;
                 }
+                m.max_window = m.max_window.max(window);
             }
-            self.stats = stats;
+            m.add_pool(&pool.stats());
         }
+        self.absorb_op(&g, &m);
+        self.end_op(g);
         Ok(())
     }
 
@@ -108,6 +120,7 @@ impl Executor {
         attr: usize,
         alpha: Degree,
         parts: usize,
+        m: &mut OperatorMetrics,
     ) -> Result<Vec<f64>> {
         let pool = self.pool_for_join();
         // One sample per page region: cheap and spread across the file.
@@ -133,12 +146,14 @@ impl Executor {
                 boundaries.push(b);
             }
         }
+        m.add_pool(&pool.stats());
         Ok(boundaries)
     }
 
     /// Writes each tuple to every partition whose key range its interval
     /// intersects. Range `k` covers `[boundaries[k-1], boundaries[k])` with
     /// open ends at the extremes.
+    #[allow(clippy::too_many_arguments)]
     fn partition(
         &mut self,
         table: &StoredTable,
@@ -146,6 +161,7 @@ impl Executor {
         alpha: Degree,
         boundaries: &[f64],
         tag: &str,
+        m: &mut OperatorMetrics,
     ) -> Result<Vec<StoredTable>> {
         let ranges = boundaries.len() + 1;
         let mut parts: Vec<StoredTable> = Vec::with_capacity(ranges);
@@ -178,6 +194,7 @@ impl Executor {
         for w in writers {
             w.finish()?;
         }
+        m.add_pool(&pool.stats());
         Ok(parts)
     }
 }
@@ -223,7 +240,7 @@ mod tests {
             ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() },
         );
         let mut seen = std::collections::HashSet::new();
-        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |rt, st, _| {
+        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, "test".to_string(), |rt, st, _| {
             seen.insert((
                 rt.values[0].as_number().unwrap() as u64,
                 st.values[0].as_number().unwrap() as u64,
@@ -260,7 +277,7 @@ mod tests {
             &disk,
             ExecConfig { buffer_pages: 4, sort_pages: 4, ..Default::default() },
         );
-        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |rt, st, _| {
+        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, "test".to_string(), |rt, st, _| {
             let d = rt.values[1].compare(CmpOp::Eq, &st.values[1]);
             // Window pairs intersect at alpha 0, but the exact degree may
             // still be anything in [0, 1].
@@ -277,7 +294,7 @@ mod tests {
         let s = table(&disk, "S", 50, 6);
         let mut ex = Executor::new(&disk, ExecConfig::default()); // huge buffer: 1 partition
         let mut pairs = 0usize;
-        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |_, _, _| {
+        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, "test".to_string(), |_, _, _| {
             pairs += 1;
             Ok(())
         })
@@ -292,7 +309,7 @@ mod tests {
         let s = table(&disk, "S", 40, 8);
         let mut ex = Executor::new(&disk, ExecConfig::default());
         let mut pairs = 0usize;
-        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, |_, _, _| {
+        ex.partitioned_join(&r, 1, &s, 1, Degree::ZERO, "test".to_string(), |_, _, _| {
             pairs += 1;
             Ok(())
         })

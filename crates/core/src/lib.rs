@@ -35,7 +35,9 @@
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod join_partitioned;
+pub mod metrics;
 pub mod naive;
 pub mod nested_loop;
 pub mod optimizer;
@@ -46,6 +48,7 @@ pub mod unnest;
 pub use engine::{Engine, QueryOutcome, Strategy};
 pub use error::{EngineError, Result};
 pub use exec::{ExecConfig, ExecStats, Executor, JoinMethod};
+pub use metrics::{OpKind, OperatorMetrics, OperatorNode, QueryMetrics};
 pub use naive::NaiveEvaluator;
 pub use plan::UnnestPlan;
 pub use stats_histogram::{Histogram, StatsRegistry};

@@ -23,7 +23,7 @@ use fuzzy_sql::{
     AggFunc, ColumnRef, HavingOperand, Operand, OrderKey, Predicate, Quantifier, Query, SelectItem,
 };
 use fuzzy_storage::BufferPool;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 /// One table binding visible to predicate evaluation.
@@ -41,12 +41,26 @@ pub struct NaiveEvaluator<'a> {
     catalog: &'a Catalog,
     pool: &'a BufferPool,
     cache: RefCell<HashMap<String, Relation>>,
+    comparisons: Cell<u64>,
 }
 
 impl<'a> NaiveEvaluator<'a> {
     /// Creates an evaluator over a catalog; page reads go through `pool`.
     pub fn new(catalog: &'a Catalog, pool: &'a BufferPool) -> NaiveEvaluator<'a> {
-        NaiveEvaluator { catalog, pool, cache: RefCell::new(HashMap::new()) }
+        NaiveEvaluator {
+            catalog,
+            pool,
+            cache: RefCell::new(HashMap::new()),
+            comparisons: Cell::new(0),
+        }
+    }
+
+    /// Value-level fuzzy comparisons evaluated so far — the same unit the
+    /// physical executor's `fuzzy_comparisons` counter uses (one per
+    /// `compare`/`compare_similar` invocation), so `EXPLAIN ANALYZE` numbers
+    /// are comparable across strategies.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.get()
     }
 
     /// Evaluates a top-level query to a fuzzy relation.
@@ -205,16 +219,19 @@ impl<'a> NaiveEvaluator<'a> {
         match p {
             Predicate::Compare { lhs, op, rhs } => {
                 let (l, r) = resolve_pair(env, lhs, rhs, self.catalog.vocabulary())?;
+                self.comparisons.set(self.comparisons.get() + 1);
                 Ok(l.compare(*op, &r))
             }
             Predicate::Similar { lhs, rhs, tolerance } => {
                 let (l, r) = resolve_pair(env, lhs, rhs, self.catalog.vocabulary())?;
+                self.comparisons.set(self.comparisons.get() + 1);
                 Ok(l.compare_similar(&r, *tolerance))
             }
             Predicate::In { lhs, negated, query } => {
                 let t = self.eval_block(query, env)?;
                 single_column(&t)?;
                 let v = resolve_operand_vs_relation(env, lhs, &t, self.catalog.vocabulary())?;
+                self.comparisons.set(self.comparisons.get() + t.len() as u64);
                 let d_in = Degree::any(
                     t.tuples().iter().map(|z| z.degree.and(v.compare(CmpOp::Eq, &z.values[0]))),
                 );
@@ -224,6 +241,7 @@ impl<'a> NaiveEvaluator<'a> {
                 let t = self.eval_block(query, env)?;
                 single_column(&t)?;
                 let v = resolve_operand_vs_relation(env, lhs, &t, self.catalog.vocabulary())?;
+                self.comparisons.set(self.comparisons.get() + t.len() as u64);
                 match quantifier {
                     // d(v op ALL F) = 1 − max_z min(μ_F(z), 1 − d(v op z)); 1 on empty F.
                     Quantifier::All => Ok(Degree::any(
@@ -252,6 +270,7 @@ impl<'a> NaiveEvaluator<'a> {
                     Some(a) => {
                         let v =
                             resolve_operand_vs_relation(env, lhs, &t, self.catalog.vocabulary())?;
+                        self.comparisons.set(self.comparisons.get() + 1);
                         // D(A(r)) participates in the conjunction; Fuzzy SQL
                         // fixes it at 1 but the degree is carried regardless.
                         Ok(a.degree.and(v.compare(*op, &a.values[0])))

@@ -16,9 +16,15 @@
 //! * I/O: `b_R + ceil(b_R / (M − 1)) × b_S` versus the merge-join's
 //!   `O(b_R + b_S)` plus sort passes;
 //! * CPU: `n_R × n_S` pair evaluations versus `O(n_R log n_R + n_S log n_S)`.
+//!
+//! Baseline operators register in the same [`crate::metrics::QueryMetrics`]
+//! registry as the unnested plans, with the same counter semantics
+//! (`fuzzy_comparisons` counts value-level comparison evaluations), so
+//! `EXPLAIN ANALYZE` numbers are directly comparable across strategies.
 
 use crate::error::{EngineError, Result};
-use crate::exec::{finish, project, Executor, GroupSet, Layout};
+use crate::exec::{project, Executor, GroupSet, Layout};
+use crate::metrics::{OpKind, OperatorMetrics};
 use crate::plan::{AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCompare, PlanOperand, UnnestPlan};
 use fuzzy_core::{Degree, Value};
 use fuzzy_rel::Relation;
@@ -27,12 +33,8 @@ use fuzzy_sql::AggFunc;
 impl Executor {
     /// Runs a plan with the nested-loop method (the measured baseline).
     pub fn run_baseline(&mut self, plan: &UnnestPlan) -> Result<Relation> {
-        self.stats = Default::default();
-        match plan {
-            UnnestPlan::Flat(p) => self.baseline_flat(p),
-            UnnestPlan::Anti(p) => self.baseline_anti(p),
-            UnnestPlan::Agg(p) => self.baseline_agg(p),
-        }
+        self.metrics_reset();
+        self.baseline_dispatch(plan)
     }
 
     /// The intermediate-relation method of Section 2.3: local predicates are
@@ -42,7 +44,7 @@ impl Executor {
     /// It sits between the naive nested loop (which re-evaluates p₂ on every
     /// pass) and the fully unnested merge-join.
     pub fn run_baseline_materialized(&mut self, plan: &UnnestPlan) -> Result<Relation> {
-        self.stats = Default::default();
+        self.metrics_reset();
         let reduced = match plan {
             UnnestPlan::Flat(p) => {
                 let mut p = p.clone();
@@ -69,11 +71,17 @@ impl Executor {
                 UnnestPlan::Agg(p)
             }
         };
-        // Keep the filter-phase statistics; run_baseline would reset them.
-        let stats = self.stats;
-        let out = self.run_baseline(&reduced)?;
-        self.stats.sort_cpu += stats.sort_cpu;
-        Ok(out)
+        // The filter-phase operators stay in the registry; dispatch directly
+        // so they are not reset.
+        self.baseline_dispatch(&reduced)
+    }
+
+    fn baseline_dispatch(&mut self, plan: &UnnestPlan) -> Result<Relation> {
+        match plan {
+            UnnestPlan::Flat(p) => self.baseline_flat(p),
+            UnnestPlan::Anti(p) => self.baseline_anti(p),
+            UnnestPlan::Agg(p) => self.baseline_agg(p),
+        }
     }
 
     fn baseline_flat(&mut self, plan: &FlatPlan) -> Result<Relation> {
@@ -84,19 +92,27 @@ impl Executor {
                 let layout = Layout::of_table(t);
                 let preds = layout.bind_all(&t.local_preds)?;
                 let (schema, idx) = layout.projection(&plan.select)?;
+                let g = self.begin_op(OpKind::Scan, format!("select {}", t.binding));
                 let pool = fuzzy_storage::BufferPool::new(self.disk(), 1);
                 let mut rows: Vec<(Vec<Value>, Degree)> = Vec::new();
+                let mut m = OperatorMetrics::default();
                 for tuple in t.table.scan(&pool) {
                     let tuple = tuple?;
+                    m.tuples_in += 1;
                     let mut d = tuple.degree;
                     for p in &preds {
+                        m.fuzzy_comparisons += 1;
                         d = d.and(p.eval(&tuple.values));
                     }
                     if d.is_positive() {
+                        m.tuples_out += 1;
                         rows.push((project(&tuple, &idx), d));
                     }
                 }
-                Ok(finish(schema, rows, plan.threshold))
+                m.add_pool(&pool.stats());
+                self.absorb_op(&g, &m);
+                self.end_op(g);
+                Ok(self.finish_op(schema, rows, plan.threshold))
             }
             2 => {
                 let (outer, inner) = (&plan.tables[0], &plan.tables[1]);
@@ -114,19 +130,23 @@ impl Executor {
                 self.block_nested_loop(
                     &ot,
                     &it,
-                    |_| (),
-                    |_, r, s, _| {
+                    format!("nested-loop {} x {}", outer.binding, inner.binding),
+                    |_, _| (),
+                    |_, r, s, m| {
                         let mut d = r.degree.and(s.degree);
                         for p in &outer_preds {
+                            m.fuzzy_comparisons += 1;
                             d = d.and(p.eval(&r.values));
                         }
                         for p in &inner_only {
+                            m.fuzzy_comparisons += 1;
                             d = d.and(p.eval(&s.values));
                         }
                         for p in &joins {
                             if !d.is_positive() {
                                 break;
                             }
+                            m.fuzzy_comparisons += 1;
                             d = d.and(p.eval_pair(&r.values, &s.values));
                         }
                         if d.is_positive() {
@@ -138,13 +158,14 @@ impl Executor {
                                     s.values[i - r.values.len()].clone()
                                 });
                             }
+                            m.tuples_out += 1;
                             rows.push((values, d));
                         }
                         Ok(())
                     },
-                    |_, _| Ok(()),
+                    |_, _, _| Ok(()),
                 )?;
-                Ok(finish(schema, rows, plan.threshold))
+                Ok(self.finish_op(schema, rows, plan.threshold))
             }
             n => Err(EngineError::Unsupported(format!(
                 "the nested-loop baseline handles 1- and 2-table plans, got {n}; \
@@ -176,44 +197,50 @@ impl Executor {
         self.block_nested_loop(
             &ot,
             &it,
-            |r| {
+            format!("nested-loop-anti {} x {}", plan.outer.binding, plan.inner.binding),
+            |r, m| {
                 // Accumulator: min over inner tuples, seeded with μ_R ∧ p₁.
                 let mut base = r.degree;
                 for p in &outer_preds {
+                    m.fuzzy_comparisons += 1;
                     base = base.and(p.eval(&r.values));
                 }
                 base
             },
-            |acc, r, s, _| {
+            |acc, r, s, m| {
                 if !acc.is_positive() {
                     return Ok(());
                 }
                 let mut inner_d = s.degree;
                 for p in &inner_preds {
+                    m.fuzzy_comparisons += 1;
                     inner_d = inner_d.and(p.eval(&s.values));
                 }
                 for p in &pair {
                     if !inner_d.is_positive() {
                         break;
                     }
+                    m.fuzzy_comparisons += 1;
                     inner_d = inner_d.and(p.eval_pair(&r.values, &s.values));
                 }
                 if let Some(b) = &kind_extra {
                     if inner_d.is_positive() {
+                        m.fuzzy_comparisons += 1;
                         inner_d = inner_d.and(b.eval_pair(&r.values, &s.values).not());
                     }
                 }
                 *acc = acc.and(inner_d.not());
                 Ok(())
             },
-            |r, acc| {
+            |r, acc, m| {
                 if acc.is_positive() {
+                    m.tuples_out += 1;
                     rows.push((project(&r, &idx), acc));
                 }
                 Ok(())
             },
         )?;
-        Ok(finish(schema, rows, plan.threshold))
+        Ok(self.finish_op(schema, rows, plan.threshold))
     }
 
     fn baseline_agg(&mut self, plan: &AggPlan) -> Result<Relation> {
@@ -244,14 +271,17 @@ impl Executor {
         self.block_nested_loop(
             &ot,
             &it,
-            |_| GroupSet::default(),
-            |set, r, s, _| {
+            format!("nested-loop-agg {} x {}", plan.outer.binding, plan.inner.binding),
+            |_, _| GroupSet::default(),
+            |set, r, s, m| {
                 // μ_T(r)(z) = max min(μ_S, p₂, d(s.V op₂ r.U)).
                 let mut d = s.degree;
                 for p in &inner_preds {
+                    m.fuzzy_comparisons += 1;
                     d = d.and(p.eval(&s.values));
                 }
                 if let Some((u, op2, v)) = &corr {
+                    m.fuzzy_comparisons += 1;
                     d = d.and(s.values[*v].compare(*op2, &r.values[*u]));
                 }
                 if d.is_positive() {
@@ -259,9 +289,10 @@ impl Executor {
                 }
                 Ok(())
             },
-            |r, set| {
+            |r, set, m| {
                 let mut base = r.degree;
                 for p in &outer_preds {
+                    m.fuzzy_comparisons += 1;
                     base = base.and(p.eval(&r.values));
                 }
                 if !base.is_positive() {
@@ -273,9 +304,13 @@ impl Executor {
                     _ => unreachable!("operand is a column or a constant"),
                 };
                 let d = match set.aggregate(agg, agg_degree)? {
-                    Some((a, da)) => base.and(da).and(lhs_val.compare(op1, &a)),
+                    Some((a, da)) => {
+                        m.fuzzy_comparisons += 1;
+                        base.and(da).and(lhs_val.compare(op1, &a))
+                    }
                     None => {
                         if agg == AggFunc::Count {
+                            m.fuzzy_comparisons += 1;
                             base.and(lhs_val.compare(op1, &Value::number(0.0)))
                         } else {
                             Degree::ZERO
@@ -283,11 +318,12 @@ impl Executor {
                     }
                 };
                 if d.is_positive() {
+                    m.tuples_out += 1;
                     rows.push((project(&r, &idx), d));
                 }
                 Ok(())
             },
         )?;
-        Ok(finish(schema, rows, plan.threshold))
+        Ok(self.finish_op(schema, rows, plan.threshold))
     }
 }

@@ -85,6 +85,15 @@ pub enum Statement {
         /// The table to analyze, or `None` for all.
         table: Option<String>,
     },
+    /// `EXPLAIN [ANALYZE] <select>` — render the unnested plan (or naive
+    /// fallback) for a query; with `ANALYZE`, run it and annotate the plan
+    /// with the per-operator counters actually observed.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (execute and report actual metrics).
+        analyze: bool,
+        /// The query being explained.
+        query: Query,
+    },
 }
 
 /// Parses one statement (SELECT or DDL/DML).
@@ -120,9 +129,13 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
         Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("ANALYZE") => {
             StatementParser::new(src)?.analyze()
         }
+        Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("EXPLAIN") => {
+            StatementParser::new(src)?.explain()
+        }
         _ => Err(ParseError::at(
             0,
-            "expected SELECT, CREATE TABLE, DEFINE TERM, INSERT, DELETE, UPDATE, or ANALYZE",
+            "expected SELECT, CREATE TABLE, DEFINE TERM, INSERT, DELETE, UPDATE, ANALYZE, \
+             or EXPLAIN",
         )),
     }
 }
@@ -400,6 +413,21 @@ impl StatementParser {
         Ok(Statement::Analyze { table })
     }
 
+    /// `EXPLAIN [ANALYZE] <select>`: the tail after the prefix keywords is
+    /// re-parsed as a full query by the main parser.
+    fn explain(&mut self) -> Result<Statement> {
+        self.expect_word("EXPLAIN")?;
+        let analyze = self.eat_word("ANALYZE");
+        if matches!(self.peek(), TokenKind::Eof) {
+            return Err(ParseError::at(self.offset(), "expected a SELECT query after EXPLAIN"));
+        }
+        let base = self.tokens[self.pos].offset;
+        let rest = &self.src[base..];
+        let query = crate::parser::parse(rest)
+            .map_err(|e| ParseError::at(base + e.offset, e.message.clone()))?;
+        Ok(Statement::Explain { analyze, query })
+    }
+
     fn update(&mut self) -> Result<Statement> {
         self.expect_word("UPDATE")?;
         let table = self.ident()?;
@@ -533,6 +561,26 @@ mod tests {
         );
         assert_eq!(parse_statement("ANALYZE").unwrap(), Statement::Analyze { table: None });
         assert!(parse_statement("ANALYZE a b").is_err());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let s = parse_statement("EXPLAIN SELECT F.NAME FROM F").unwrap();
+        match s {
+            Statement::Explain { analyze, query } => {
+                assert!(!analyze);
+                assert_eq!(query.from.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s =
+            parse_statement("explain analyze SELECT F.NAME FROM F WHERE F.AGE = 'young'").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        // Errors inside the query are reported at the right offset.
+        let e = parse_statement("EXPLAIN SELECT").unwrap_err();
+        assert!(e.offset >= "EXPLAIN ".len(), "offset {} not rebased", e.offset);
+        assert!(parse_statement("EXPLAIN").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
     }
 
     #[test]

@@ -22,6 +22,8 @@ use std::sync::{Arc, Mutex};
 /// Hit/miss statistics of a buffer pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
+    /// Total page requests (`hits + misses` always equals `requests`).
+    pub requests: u64,
     /// Requests satisfied from a resident frame.
     pub hits: u64,
     /// Requests that required a physical read.
@@ -73,6 +75,7 @@ impl BufferPool {
     /// least recently used frame if the pool is full.
     pub fn get(&self, id: PageId) -> Result<Arc<[u8]>> {
         let mut inner = self.inner.lock().expect("pool lock");
+        inner.stats.requests += 1;
         if let Some(frame) = inner.frames.get(&id).cloned() {
             inner.stats.hits += 1;
             touch(&mut inner.lru, id);
@@ -189,7 +192,7 @@ mod tests {
         pool.get(ids[0]).unwrap();
         pool.get(ids[0]).unwrap();
         pool.get(ids[1]).unwrap();
-        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 2 });
+        assert_eq!(pool.stats(), PoolStats { requests: 3, hits: 1, misses: 2 });
         assert_eq!(disk.io().reads, 2);
     }
 
@@ -202,7 +205,7 @@ mod tests {
         pool.get(ids[2]).unwrap(); // evicts ids[0]
         pool.get(ids[1]).unwrap(); // hit
         pool.get(ids[0]).unwrap(); // miss again
-        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 4 });
+        assert_eq!(pool.stats(), PoolStats { requests: 5, hits: 1, misses: 4 });
         assert_eq!(disk.io().reads, 4);
     }
 

@@ -176,6 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match db.execute(line) {
                 Ok(StatementResult::Rows(rel)) => print!("{rel}"),
                 Ok(StatementResult::Affected(n)) => println!("-- {n} tuples affected"),
+                Ok(StatementResult::Explained(text)) => print!("{text}"),
                 Ok(StatementResult::Done) => println!("-- ok"),
                 Err(e) => println!("error: {e}"),
             }

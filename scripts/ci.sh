@@ -32,4 +32,13 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> EXPLAIN golden suite (fails on drift; UPDATE_GOLDEN=1 regenerates)"
+cargo test -q --test explain_golden
+
+echo "==> metrics hygiene (no dead_code escapes on the registry)"
+if grep -n '#\[allow(dead_code)\]' crates/core/src/metrics.rs crates/core/src/explain.rs; then
+  echo "error: metrics/explain code must not silence dead_code — wire the field up or remove it" >&2
+  exit 1
+fi
+
 echo "CI gate passed."

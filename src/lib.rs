@@ -224,9 +224,23 @@ impl Database {
     }
 
     /// Explains how a query would be evaluated: its classified nesting type
-    /// (Sections 4-8 of the paper) and the unnested plan.
+    /// (Sections 4-8 of the paper), the unnested plan, and deterministic cost
+    /// estimates.
     pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
-        Engine::new(&self.catalog, &self.disk).with_config(self.config).explain(sql)
+        Engine::new(&self.catalog, &self.disk)
+            .with_config(self.config)
+            .with_statistics(self.statistics.clone())
+            .explain(sql)
+    }
+
+    /// Runs the query and renders the `EXPLAIN` output annotated with the
+    /// *actual* per-operator counters and wall times (`EXPLAIN ANALYZE`).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, EngineError> {
+        let (text, _) = Engine::new(&self.catalog, &self.disk)
+            .with_config(self.config)
+            .with_statistics(self.statistics.clone())
+            .explain_analyze(sql)?;
+        Ok(text)
     }
 
     /// The catalog (tables + vocabulary).
@@ -364,6 +378,8 @@ pub enum StatementResult {
     Rows(Relation),
     /// Tuples inserted, deleted, or updated.
     Affected(usize),
+    /// The rendered text of an `EXPLAIN` or `EXPLAIN ANALYZE` statement.
+    Explained(String),
     /// A DDL statement (CREATE TABLE, DEFINE TERM) succeeded.
     Done,
 }
@@ -387,6 +403,17 @@ impl Database {
                     .with_config(self.config)
                     .run(&q, Strategy::Unnest)?;
                 Ok(StatementResult::Rows(out.answer))
+            }
+            Statement::Explain { analyze, query } => {
+                let engine = Engine::new(&self.catalog, &self.disk)
+                    .with_config(self.config)
+                    .with_statistics(self.statistics.clone());
+                let text = if analyze {
+                    engine.explain_analyze_query(&query)?.0
+                } else {
+                    engine.explain_query(&query)?
+                };
+                Ok(StatementResult::Explained(text))
             }
             Statement::CreateTable { name, columns } => {
                 let attrs: Vec<(String, AttrType)> = columns

@@ -1,0 +1,229 @@
+//! Invariant tests over the per-operator metrics registry (`EXPLAIN
+//! ANALYZE`): relations between counters that must hold for every query, on
+//! every strategy, at every thread count.
+
+use fuzzy_db::engine::{Engine, QueryOutcome, Strategy};
+use fuzzy_db::rel::Catalog;
+use fuzzy_db::storage::SimDisk;
+use fuzzy_db::workload::{generate, paper, WorkloadSpec};
+use fuzzy_db::Database;
+
+fn workload_db(n: usize, seed: u64) -> (Catalog, SimDisk) {
+    let disk = SimDisk::with_default_page_size();
+    let spec = WorkloadSpec { n_outer: n, n_inner: n, fanout: 7, seed, ..Default::default() };
+    let w = generate(&disk, spec).expect("workload");
+    let mut catalog = Catalog::new();
+    catalog.register(w.outer.clone());
+    catalog.register(w.inner.clone());
+    (catalog, disk)
+}
+
+fn dating_db() -> (Catalog, SimDisk) {
+    let disk = SimDisk::with_default_page_size();
+    let catalog = paper::dating_service(&disk).expect("paper catalog");
+    (catalog, disk)
+}
+
+/// Section 3's core claim, checked on the actual counters: the extended
+/// merge-join examines no more pairs — and evaluates no more fuzzy
+/// comparisons — than the nested-loop method on the same workload.
+#[test]
+fn merge_join_work_bounded_by_nested_loop() {
+    let (catalog, disk) = workload_db(400, 7);
+    let engine = Engine::new(&catalog, &disk);
+    let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)";
+    let mj = engine.run_sql(sql, Strategy::Unnest).unwrap();
+    let nl = engine.run_sql(sql, Strategy::NestedLoop).unwrap();
+    assert_eq!(mj.answer.canonicalized(), nl.answer.canonicalized());
+    let (mjt, nlt) = (mj.metrics.totals(), nl.metrics.totals());
+    assert_eq!(nlt.pairs_examined, 400 * 400, "NL examines the full cross product");
+    assert!(
+        mjt.pairs_examined < nlt.pairs_examined,
+        "mj pairs {} vs nl pairs {}",
+        mjt.pairs_examined,
+        nlt.pairs_examined
+    );
+    assert!(
+        mjt.fuzzy_comparisons <= nlt.fuzzy_comparisons,
+        "mj cmp {} vs nl cmp {}",
+        mjt.fuzzy_comparisons,
+        nlt.fuzzy_comparisons
+    );
+}
+
+fn assert_buffers_balance(out: &QueryOutcome, context: &str) {
+    for n in out.metrics.ops() {
+        let m = &n.metrics;
+        assert_eq!(
+            m.buffer_hits + m.buffer_misses,
+            m.buffer_requests,
+            "buffer accounting off in [{}] {} of {context}",
+            n.kind.name(),
+            n.label
+        );
+    }
+}
+
+/// Every buffer-pool request is either a hit or a miss — per operator, on
+/// every strategy.
+#[test]
+fn buffer_hits_plus_misses_equal_requests() {
+    let (catalog, disk) = workload_db(300, 11);
+    let engine = Engine::new(&catalog, &disk);
+    let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.ID <> R.ID)";
+    for strategy in
+        [Strategy::Unnest, Strategy::NestedLoop, Strategy::MaterializedNestedLoop, Strategy::Naive]
+    {
+        let out = engine.run_sql(sql, strategy).unwrap();
+        assert_buffers_balance(&out, &format!("{strategy:?}"));
+        assert!(out.metrics.totals().buffer_requests > 0, "{strategy:?} used no buffers");
+    }
+}
+
+/// The final operator's `tuples_out` (Output for physical plans, Naive for
+/// the fallback) is exactly the answer-set cardinality, for one query of
+/// every class in the catalogue (none use LIMIT, which applies after the
+/// Output operator).
+#[test]
+fn final_operator_tuples_out_matches_answer() {
+    let (catalog, disk) = workload_db(200, 3);
+    let engine = Engine::new(&catalog, &disk);
+    let queries = [
+        "SELECT R.ID FROM R WHERE R.V >= 500",
+        "SELECT R.ID FROM R, S WHERE R.X = S.X WITH D > 0.3",
+        "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)",
+        "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.V = R.V)",
+        "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S)",
+        "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S WHERE S.V = R.V)",
+        "SELECT R.ID FROM R WHERE R.V > (SELECT AVG(S.V) FROM S)",
+        "SELECT R.ID FROM R WHERE R.V <= (SELECT MAX(S.V) FROM S WHERE S.X = R.X)",
+        "SELECT R.ID FROM R WHERE R.V > ALL (SELECT S.V FROM S)",
+        // General shape: exercises the naive fallback's Naive node.
+        "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) \
+         AND R.V IN (SELECT S.V FROM S)",
+    ];
+    for sql in queries {
+        let out = engine.run_sql(sql, Strategy::Unnest).unwrap();
+        let last = out.metrics.ops().last().unwrap_or_else(|| panic!("no ops for {sql}"));
+        assert_eq!(
+            last.metrics.tuples_out,
+            out.answer.len() as u64,
+            "final op [{}] {} of {sql}",
+            last.kind.name(),
+            last.label
+        );
+        assert_buffers_balance(&out, sql);
+    }
+}
+
+/// A pushed-down `WITH D > z` threshold visibly prunes pairs: the counter
+/// that records the push-down's direct savings is positive.
+#[test]
+fn threshold_pushdown_records_pruned_pairs() {
+    let (catalog, disk) = workload_db(300, 21);
+    let engine = Engine::new(&catalog, &disk);
+    let out = engine
+        .run_sql(
+            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > 0.9",
+            Strategy::Unnest,
+        )
+        .unwrap();
+    assert!(out.metrics.totals().pairs_pruned > 0, "no pairs recorded as pruned");
+}
+
+/// Regression pin for the naive/executor comparison-unit bugfix: both
+/// strategies count Value-level fuzzy comparisons in the same unit, so their
+/// counts on the paper's Example 4.1 are fixed, comparable numbers.
+///
+/// F and M have 4 tuples each. Naive: one `F.AGE = 'medium young'`
+/// comparison per F tuple (4), and for the three F tuples whose age degree
+/// is positive (the conjunction short-circuits on Cathy) the IN evaluates
+/// the subquery (4 `M.AGE = 'middle age'` comparisons each) plus |T| = 3
+/// set-membership comparisons: 4 + 3×(4+3) = 25. Unnest: filter scans
+/// evaluate the local predicates once per stored tuple (4 + 4) and the
+/// merge windows compare 4 income pairs: 12.
+#[test]
+fn naive_and_unnest_count_comparisons_in_the_same_unit() {
+    let (catalog, disk) = dating_db();
+    let engine = Engine::new(&catalog, &disk);
+    let sql = "SELECT F.NAME FROM F \
+               WHERE F.AGE = 'medium young' AND F.INCOME IN \
+               (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')";
+    let naive = engine.run_sql(sql, Strategy::Naive).unwrap();
+    let unnest = engine.run_sql(sql, Strategy::Unnest).unwrap();
+    assert_eq!(naive.answer.canonicalized(), unnest.answer.canonicalized());
+    let counts =
+        (naive.metrics.totals().fuzzy_comparisons, unnest.metrics.totals().fuzzy_comparisons);
+    assert_eq!(counts, (25, 12), "(naive, unnest) comparison counts drifted");
+}
+
+/// `EXPLAIN ANALYZE` through the statement layer: the rendering carries the
+/// plan, the per-operator lines, and an answer cardinality that matches a
+/// direct run of the same query.
+#[test]
+fn explain_analyze_reports_actual_operators() {
+    let disk = SimDisk::with_default_page_size();
+    let catalog = paper::dating_service(&disk).expect("paper catalog");
+    let mut db = Database::from_catalog(catalog, disk);
+    let sql = "SELECT F.NAME FROM F WHERE F.INCOME IN \
+               (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
+    let rows = db.query(sql).unwrap().len();
+    let text = match db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap() {
+        fuzzy_db::StatementResult::Explained(text) => text,
+        other => panic!("expected Explained, got {other:?}"),
+    };
+    assert!(text.contains("query class: TypeJ"), "{text}");
+    assert!(text.contains("actual:"), "{text}");
+    assert!(text.contains("[sort]"), "{text}");
+    assert!(text.contains("[output]"), "{text}");
+    assert!(text.contains(&format!("answer: {rows} rows")), "{text}");
+    // Plain EXPLAIN stops before the actual section.
+    let plain = match db.execute(&format!("EXPLAIN {sql}")).unwrap() {
+        fuzzy_db::StatementResult::Explained(text) => text,
+        other => panic!("expected Explained, got {other:?}"),
+    };
+    assert!(!plain.contains("actual:"), "{plain}");
+}
+
+/// `EXPLAIN ANALYZE` succeeds for every query class in the unnesting
+/// catalogue plus the naive fallback, and its answer line always matches the
+/// run's answer cardinality.
+#[test]
+fn explain_analyze_covers_every_query_class() {
+    let (catalog, disk) = workload_db(80, 5);
+    let engine = Engine::new(&catalog, &disk);
+    let queries = [
+        ("Flat", "SELECT R.ID FROM R, S WHERE R.X = S.X WITH D > 0.3"),
+        ("TypeN", "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)"),
+        ("TypeJ", "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.V = R.V)"),
+        ("TypeJSome", "SELECT R.ID FROM R WHERE R.X = SOME (SELECT S.X FROM S WHERE S.V = R.V)"),
+        ("TypeNX", "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S)"),
+        ("TypeJX", "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S WHERE S.V = R.V)"),
+        ("TypeA", "SELECT R.ID FROM R WHERE R.V > (SELECT AVG(S.V) FROM S)"),
+        ("TypeJA", "SELECT R.ID FROM R WHERE R.V <= (SELECT MAX(S.V) FROM S WHERE S.X = R.X)"),
+        ("TypeAll", "SELECT R.ID FROM R WHERE R.V > ALL (SELECT S.V FROM S)"),
+        (
+            "Chain(3)",
+            "SELECT R.ID FROM R WHERE R.X IN \
+             (SELECT S.X FROM S WHERE S.X IN (SELECT S.X FROM S))",
+        ),
+        (
+            "General",
+            "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) \
+             AND R.V IN (SELECT S.V FROM S)",
+        ),
+    ];
+    for (class, sql) in queries {
+        let (text, outcome) = engine.explain_analyze(sql).unwrap();
+        assert!(text.contains(&format!("query class: {class}")), "{class}: {text}");
+        assert!(text.contains("actual:"), "{class}: {text}");
+        assert!(
+            text.contains(&format!("answer: {} rows", outcome.answer.len())),
+            "{class}: {text}"
+        );
+        if class == "General" {
+            assert!(text.contains("strategy: naive fallback"), "{class}: {text}");
+            assert!(text.contains("[naive] naive-eval"), "{class}: {text}");
+        }
+    }
+}

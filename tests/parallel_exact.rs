@@ -6,7 +6,7 @@
 //! threads = 1 by at least 1.8× end to end.
 
 use fuzzy_engine::exec::{ExecConfig, ExecStats};
-use fuzzy_engine::{Engine, Strategy};
+use fuzzy_engine::{Engine, OperatorMetrics, Strategy};
 use fuzzy_rel::{Catalog, Relation};
 use fuzzy_storage::SimDisk;
 use fuzzy_workload::{generate, WorkloadSpec};
@@ -32,6 +32,9 @@ fn workload(n: usize, seed: u64) -> (Catalog, SimDisk) {
 struct Run {
     answer: Relation,
     stats: ExecStats,
+    /// The deterministic per-operator view: `(kind, label, counters)` in
+    /// start order, wall time excluded.
+    metrics_sig: Vec<(&'static str, String, OperatorMetrics)>,
     reads: u64,
     writes: u64,
     wall: Duration,
@@ -50,6 +53,7 @@ fn run(catalog: &Catalog, disk: &SimDisk, sql: &str, threads: usize, pages: usiz
     Run {
         answer: out.answer.canonicalized(),
         stats: out.exec_stats,
+        metrics_sig: out.metrics.deterministic(),
         reads: out.measurement.io.reads,
         writes: out.measurement.io.writes,
         wall,
@@ -76,6 +80,9 @@ fn assert_exactly_equal(serial: &Run, parallel: &Run, label: &str) {
     assert_eq!(serial.stats.sort_writes, parallel.stats.sort_writes, "{label}: sort writes");
     assert_eq!(serial.reads, parallel.reads, "{label}: physical reads diverged");
     assert_eq!(serial.writes, parallel.writes, "{label}: physical writes diverged");
+    // The whole registry — every operator's label and all thirteen counters
+    // — must be bit-identical; only wall time may differ.
+    assert_eq!(serial.metrics_sig, parallel.metrics_sig, "{label}: per-operator metrics diverged");
 }
 
 #[test]
