@@ -6,6 +6,7 @@
 //! charged at a configurable per-page latency (DESIGN.md documents the
 //! substitution of the paper's 1995 hardware with this model).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use fuzzy_engine::exec::ExecConfig;

@@ -197,6 +197,44 @@ impl<'a> Engine<'a> {
         Ok((out, outcome))
     }
 
+    /// Renders the `EXPLAIN VERIFY` text for a query: the static plan
+    /// verifier's report (rewrite rule, push-down bound, per-operator
+    /// required/delivered properties, violations). See [`crate::verify`].
+    pub fn explain_verify(&self, sql: &str) -> Result<String> {
+        let q = fuzzy_sql::parse(sql)?;
+        self.explain_verify_query(&q)
+    }
+
+    /// [`Engine::explain_verify`] over an already-parsed query.
+    pub fn explain_verify_query(&self, q: &fuzzy_sql::Query) -> Result<String> {
+        crate::explain::render_verify(q, self.catalog, &self.config, self.statistics.as_deref())
+    }
+
+    /// Statically verifies the plan the engine would run for this query
+    /// under [`Strategy::Unnest`]. Returns `Ok(None)` when the query falls
+    /// back to the naive evaluator (nothing to verify — the reference
+    /// evaluator is the semantics).
+    pub fn verify(&self, sql: &str) -> Result<Option<crate::verify::VerifyReport>> {
+        let q = fuzzy_sql::parse(sql)?;
+        self.verify_query(&q)
+    }
+
+    /// [`Engine::verify`] over an already-parsed query.
+    pub fn verify_query(
+        &self,
+        q: &fuzzy_sql::Query,
+    ) -> Result<Option<crate::verify::VerifyReport>> {
+        match build_plan(q, self.catalog) {
+            Ok(plan) => Ok(Some(crate::verify::verify_plan(
+                &plan,
+                &self.config,
+                self.statistics.as_deref(),
+            ))),
+            Err(EngineError::Unsupported(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Runs the naive evaluator under a single `naive-eval` operator node so
     /// fallback runs still carry comparable metrics.
     fn run_naive_metered(&self, q: &fuzzy_sql::Query) -> Result<(Relation, QueryMetrics)> {

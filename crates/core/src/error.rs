@@ -18,6 +18,9 @@ pub enum EngineError {
     Bind(String),
     /// The query shape is outside what the engine supports.
     Unsupported(String),
+    /// Static plan verification rejected the plan (a transformer or
+    /// optimizer bug — see `fuzzy_engine::verify`).
+    Verify(String),
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +31,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Bind(msg) => write!(f, "binding error: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            EngineError::Verify(msg) => write!(f, "plan verification failed: {msg}"),
         }
     }
 }
@@ -69,5 +73,8 @@ mod tests {
         assert!(e.to_string().contains("slot"));
         assert!(EngineError::Bind("no table R".into()).to_string().contains("no table R"));
         assert!(EngineError::Unsupported("cyclic".into()).to_string().contains("cyclic"));
+        let e = EngineError::Verify("[V-PROP-SORT] at #2".into());
+        assert!(e.to_string().contains("plan verification failed"));
+        assert!(e.to_string().contains("V-PROP-SORT"));
     }
 }

@@ -63,6 +63,29 @@ pub struct ExecConfig {
     pub threads: usize,
 }
 
+/// The degree bound a pushed-down `WITH D > z` threshold lets a *flat* plan
+/// prune at: z when push-down is enabled and a threshold exists, else 0.
+/// Sound for flat plans only — every conjunct of their final min must reach
+/// the threshold, so pairs below it can never contribute an answer row.
+pub fn flat_pushdown_alpha(config: &ExecConfig, threshold: Option<Threshold>) -> Degree {
+    match (config.threshold_pushdown, threshold) {
+        (true, Some(t)) => Degree::clamped(t.z),
+        _ => Degree::ZERO,
+    }
+}
+
+/// The pruning bound the executor uses for a plan. The anti and aggregate
+/// forms accumulate MIN over *negated* degrees — a low-degree pair still
+/// lowers its group's degree — so they never prune (`Degree::ZERO`); the
+/// static verifier independently rejects any plan that claims otherwise
+/// (`V-THRESH-SCOPE`).
+pub fn pushdown_alpha(config: &ExecConfig, plan: &UnnestPlan) -> Degree {
+    match plan {
+        UnnestPlan::Flat(p) => flat_pushdown_alpha(config, p.threshold),
+        UnnestPlan::Anti(_) | UnnestPlan::Agg(_) => Degree::ZERO,
+    }
+}
+
 /// Physical algorithms for a flat equi-join step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinMethod {
@@ -376,8 +399,23 @@ impl Executor {
     }
 
     /// Runs an unnested plan, resetting the metrics registry.
+    ///
+    /// In debug builds the plan is statically verified first (see
+    /// [`crate::verify`]): a violation means a transformer or optimizer bug,
+    /// and refusing to run beats silently corrupting degrees.
     pub fn run(&mut self, plan: &UnnestPlan) -> Result<Relation> {
         self.metrics_reset();
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::verify::verify_plan(plan, &self.config, self.statistics.as_deref());
+            if let Some(v) = report.violations.first() {
+                return Err(EngineError::Verify(format!(
+                    "{v} ({} violation(s) in plan {})",
+                    report.violations.len(),
+                    report.plan_label
+                )));
+            }
+        }
         match plan {
             UnnestPlan::Flat(p) => self.run_flat(p),
             UnnestPlan::Anti(p) => self.run_anti(p),
@@ -797,13 +835,9 @@ impl Executor {
     }
 
     fn run_flat_ordered(&mut self, plan: &FlatPlan) -> Result<Relation> {
-        // Threshold push-down (sound for flat plans only: every conjunct of
-        // the final min must reach the threshold, so tuples and join pairs
-        // below it can never contribute an answer row).
-        let alpha = match (self.config.threshold_pushdown, plan.threshold) {
-            (true, Some(t)) => Degree::clamped(t.z),
-            _ => Degree::ZERO,
-        };
+        // Threshold push-down (sound for flat plans only; the shared
+        // derivation keeps the executor and the static verifier in lockstep).
+        let alpha = flat_pushdown_alpha(&self.config, plan.threshold);
         let mut filtered: Vec<StoredTable> = Vec::with_capacity(plan.tables.len());
         for t in &plan.tables {
             filtered.push(self.filter_scan(t, alpha)?);
@@ -861,9 +895,14 @@ impl Executor {
                     last || p.bindings().iter().all(|b| layout.contains(b) || *b == t.binding)
                 });
             remaining = kept;
-            // Pick an equality between the bound set and t as merge driver.
+            // Pick an exact equality between the bound set and t as merge
+            // driver. Similarity predicates (op Eq with a tolerance) must
+            // not drive: their widened matches are not bounded by support
+            // intersection, so the merge window would miss pairs — they stay
+            // residuals, evaluated with their tolerance.
             let driver_pos = evaluable.iter().position(|p| {
                 p.op == CmpOp::Eq
+                    && p.tolerance.is_none()
                     && matches!((p.lhs.as_col(), p.rhs.as_col()), (Some(l), Some(r))
                         if (layout.contains(&l.binding) && r.binding == t.binding)
                             || (layout.contains(&r.binding) && l.binding == t.binding))

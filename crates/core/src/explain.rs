@@ -11,6 +11,11 @@
 //! registered operator with its exact counters (deterministic across thread
 //! counts) and its wall time (not deterministic — which is why golden tests
 //! cover only the `EXPLAIN` half).
+//!
+//! [`render_verify`] renders the `EXPLAIN VERIFY` statement: the static
+//! verifier's report ([`crate::verify`]) — the rewrite rule, the push-down
+//! bound, every physical operator's required/delivered properties, and any
+//! violations. Fully deterministic, so it too is pinned by golden tests.
 
 use crate::engine::QueryOutcome;
 use crate::error::{EngineError, Result};
@@ -128,6 +133,77 @@ fn render_estimates(plan: &UnnestPlan, config: &ExecConfig) -> String {
             }
             let bound = p.outer.table.num_tuples().saturating_mul(p.inner.table.num_tuples());
             out.push_str(&format!("est: nested-loop pair bound: {bound}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the `EXPLAIN VERIFY` text for a query: class, strategy, and the
+/// static verification report of the plan the executor would run. The naive
+/// fallback has nothing to verify — the naive evaluator is the semantics
+/// the equivalence theorems are checked against.
+pub fn render_verify(
+    q: &fuzzy_sql::Query,
+    catalog: &Catalog,
+    config: &ExecConfig,
+    statistics: Option<&StatsRegistry>,
+) -> Result<String> {
+    let class = fuzzy_sql::classify(q);
+    let mut out = format!("query class: {class:?} (depth {})\n", q.depth());
+    match build_plan(q, catalog) {
+        Ok(plan) => {
+            out.push_str(&format!("strategy: unnest:{}\n", plan.label()));
+            let report = crate::verify::verify_plan(&plan, config, statistics);
+            out.push_str(&render_verify_report(&report));
+        }
+        Err(EngineError::Unsupported(_)) => {
+            out.push_str("strategy: naive fallback\n");
+            out.push_str(
+                "verify: nothing to check — the naive reference evaluator is the semantics\n",
+            );
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(out)
+}
+
+/// Renders one verification report: rule, α bound, the operator outline with
+/// required/delivered properties, and the verdict with any violations.
+pub fn render_verify_report(report: &crate::verify::VerifyReport) -> String {
+    let mut out = format!("rewrite rule: {}\n", report.rule_id);
+    out.push_str(&format!("push-down bound: α = {:.2}\n", report.alpha.value()));
+    out.push_str("plan properties:\n");
+    for (i, op) in report.outline.ops.iter().enumerate() {
+        out.push_str(&format!("  #{i} {}", op.name));
+        if !op.is_declared() {
+            out.push_str("  !! undeclared\n");
+            continue;
+        }
+        if !op.requires.is_empty() {
+            let reqs: Vec<String> =
+                op.requires.iter().map(|(slot, p)| format!("in{slot}:{p}")).collect();
+            out.push_str(&format!("  requires {}", reqs.join(" ")));
+        }
+        if !op.delivers.is_empty() {
+            let dels: Vec<String> = op.delivers.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!("  delivers {}", dels.join(" ")));
+        }
+        out.push('\n');
+    }
+    if report.ok() {
+        out.push_str(&format!(
+            "verification: OK ({} operators, {} checks)\n",
+            report.outline.ops.len(),
+            report.checks
+        ));
+    } else {
+        out.push_str(&format!(
+            "verification: FAILED ({} violation(s), {} checks)\n",
+            report.violations.len(),
+            report.checks
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  {v}\n"));
         }
     }
     out

@@ -13,6 +13,9 @@
 //!   extended merge-join window over `Rng(r)` (Section 3), anti accumulation
 //!   (JX′/JALL′) and the pipelined aggregate evaluation (JA′/COUNT′);
 //! * [`nested_loop`] — the block nested-loop baseline of Section 9;
+//! * [`verify`] — the static plan verifier: physical-property analysis
+//!   (⪯-sort orders, degree bounds, duplicate policy, binding provenance)
+//!   and equivalence-rule linting for every plan before it runs;
 //! * [`engine`] — strategy dispatch plus I/O/CPU measurement.
 //!
 //! ## Example
@@ -30,6 +33,7 @@
 //! end-to-end snippets; this crate avoids a circular dev-dependency on the
 //! workload crate in its doctests.)
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -44,12 +48,16 @@ pub mod optimizer;
 pub mod plan;
 pub mod stats_histogram;
 pub mod unnest;
+pub mod verify;
 
 pub use engine::{Engine, QueryOutcome, Strategy};
 pub use error::{EngineError, Result};
 pub use exec::{ExecConfig, ExecStats, Executor, JoinMethod};
 pub use metrics::{OpKind, OperatorMetrics, OperatorNode, QueryMetrics};
 pub use naive::NaiveEvaluator;
-pub use plan::UnnestPlan;
+pub use plan::{RewriteRule, UnnestPlan};
 pub use stats_histogram::{Histogram, StatsRegistry};
 pub use unnest::build_plan;
+pub use verify::{
+    build_outline, check_threshold, verify_plan, Outline, PhysOp, Prop, VerifyReport, Violation,
+};

@@ -140,7 +140,7 @@ pub fn reorder_joins_with(plan: &mut FlatPlan, stats: Option<&StatsRegistry>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{PlanCol, PlanCompare, PlanOperand, PlanTable};
+    use crate::plan::{PlanCol, PlanCompare, PlanOperand, PlanTable, RewriteRule};
     use fuzzy_core::{CmpOp, Value};
     use fuzzy_rel::{AttrType, Schema, StoredTable, Tuple};
     use fuzzy_storage::SimDisk;
@@ -180,6 +180,7 @@ mod tests {
             join_preds: vec![equi("A", "B")],
             select: vec![],
             threshold: None,
+            rule: RewriteRule::Flat,
         };
         assert!(!reorder_joins(&mut plan));
         assert_eq!(bindings(&plan), ["A", "B"]);
@@ -197,6 +198,7 @@ mod tests {
             join_preds: vec![equi("A", "B"), equi("B", "C"), equi("A", "C")],
             select: vec![],
             threshold: None,
+            rule: RewriteRule::Flat,
         };
         assert!(reorder_joins(&mut plan));
         assert_eq!(bindings(&plan), ["B", "C", "A"]);
@@ -218,6 +220,7 @@ mod tests {
             join_preds: vec![equi("A", "D"), equi("A", "C"), equi("B", "C")],
             select: vec![],
             threshold: None,
+            rule: RewriteRule::Flat,
         };
         assert!(reorder_joins(&mut plan));
         let order = bindings(&plan);
@@ -240,6 +243,7 @@ mod tests {
             join_preds: vec![equi("A", "B"), equi("B", "C")],
             select: vec![],
             threshold: None,
+            rule: RewriteRule::Flat,
         };
         assert!(reorder_joins(&mut plan));
         assert_eq!(bindings(&plan)[0], "B");
@@ -257,6 +261,7 @@ mod tests {
             join_preds: vec![equi("A", "B"), equi("B", "C")],
             select: vec![],
             threshold: None,
+            rule: RewriteRule::Flat,
         };
         assert!(!reorder_joins(&mut plan));
         assert_eq!(bindings(&plan), ["A", "B", "C"]);

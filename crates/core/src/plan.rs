@@ -109,6 +109,94 @@ pub struct PlanTable {
     pub local_preds: Vec<PlanCompare>,
 }
 
+/// The paper equivalence rule that justifies an unnested plan.
+///
+/// Every plan the transformer emits is tagged with the rule that produced
+/// it; the static verifier ([`crate::verify`]) re-checks the rule's shape
+/// preconditions against the plan itself, so a mis-tagged plan (or a future
+/// transformer bug) is rejected before execution rather than silently
+/// computing wrong degrees. The flat-form rules carry `blocks`: the binding
+/// names of each nesting level, outermost first, which is what the
+/// cross-level predicate checks (independence, adjacency) are phrased over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteRule {
+    /// No rewrite — the user query was already flat.
+    Flat,
+    /// Theorem 4.1 (Query N′): uncorrelated `IN`. Precondition: the inner
+    /// block is independent — exactly one cross-level predicate, the `IN`
+    /// linkage equality itself.
+    TypeN {
+        /// Binding names per nesting level, outermost first.
+        blocks: Vec<Vec<String>>,
+    },
+    /// Theorem 4.2 (Query J′): correlated `IN`. Precondition: at least one
+    /// cross-level predicate links the two levels.
+    TypeJ {
+        /// Binding names per nesting level, outermost first.
+        blocks: Vec<Vec<String>>,
+    },
+    /// The `θ SOME` variant of Theorem 4.2 (the linkage carries θ, not
+    /// necessarily equality).
+    TypeSome {
+        /// Binding names per nesting level, outermost first.
+        blocks: Vec<Vec<String>>,
+    },
+    /// Theorem 8.1 (Query Q′_K): a K-level `IN` chain. Precondition: every
+    /// adjacent level pair is linked by at least one equality, and no
+    /// predicate skips levels (correlation may reference enclosing blocks,
+    /// but the linkage structure itself must be linear).
+    Chain {
+        /// Binding names per nesting level, outermost first.
+        blocks: Vec<Vec<String>>,
+    },
+    /// Section 7's remark: `EXISTS` flattens to a correlation join with
+    /// fuzzy-OR duplicate elimination playing the max.
+    Exists,
+    /// Theorem 5.1 (Queries NX′/JX′): `NOT IN` / `NOT EXISTS` as a grouped
+    /// MIN over negated degrees.
+    Exclusion,
+    /// Theorem 7.1 (Queries ALL′/JALL′): the quantified anti form.
+    All,
+    /// Theorem 6.1 (Queries JA′/COUNT′ and the constant type A).
+    Aggregate,
+}
+
+impl RewriteRule {
+    /// The diagnostic rule id: the paper theorem (or remark) the rewrite is
+    /// licensed by. These ids appear in verifier diagnostics and DESIGN.md.
+    pub fn id(&self) -> &'static str {
+        match self {
+            RewriteRule::Flat => "none",
+            RewriteRule::TypeN { .. } => "T4.1",
+            RewriteRule::TypeJ { .. } => "T4.2",
+            RewriteRule::TypeSome { .. } => "T4.2-SOME",
+            RewriteRule::Chain { .. } => "T8.1",
+            RewriteRule::Exists => "S7-EXISTS",
+            RewriteRule::Exclusion => "T5.1",
+            RewriteRule::All => "T7.1",
+            RewriteRule::Aggregate => "T6.1",
+        }
+    }
+
+    /// The nesting-level binding lists, for the flat-form rules that carry
+    /// them.
+    pub fn blocks(&self) -> Option<&[Vec<String>]> {
+        match self {
+            RewriteRule::TypeN { blocks }
+            | RewriteRule::TypeJ { blocks }
+            | RewriteRule::TypeSome { blocks }
+            | RewriteRule::Chain { blocks } => Some(blocks),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RewriteRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// A flat select-project-join plan (N′, J′, chains, SOME).
 #[derive(Debug, Clone)]
 pub struct FlatPlan {
@@ -122,6 +210,8 @@ pub struct FlatPlan {
     pub select: Vec<PlanCol>,
     /// Final `WITH` threshold.
     pub threshold: Option<Threshold>,
+    /// The equivalence rule that produced this plan (verified statically).
+    pub rule: RewriteRule,
 }
 
 /// What the anti-join accumulates per inner tuple (Sections 5 and 7).
@@ -163,6 +253,8 @@ pub struct AntiPlan {
     pub select: Vec<PlanCol>,
     /// Final `WITH` threshold.
     pub threshold: Option<Threshold>,
+    /// The equivalence rule that produced this plan (verified statically).
+    pub rule: RewriteRule,
 }
 
 /// The aggregate plan for type JA / COUNT′ (Theorem 6.1).
@@ -189,6 +281,8 @@ pub struct AggPlan {
     /// to 1; the paper notes average-membership alternatives, which
     /// [`AggDegree::MeanMembership`] provides as an ablation.
     pub agg_degree: AggDegree,
+    /// The equivalence rule that produced this plan (verified statically).
+    pub rule: RewriteRule,
 }
 
 /// How `D(A(r))` — the degree of an aggregated value — is derived from the
@@ -232,6 +326,24 @@ pub enum UnnestPlan {
 }
 
 impl UnnestPlan {
+    /// The equivalence rule the plan was produced by.
+    pub fn rule(&self) -> &RewriteRule {
+        match self {
+            UnnestPlan::Flat(p) => &p.rule,
+            UnnestPlan::Anti(p) => &p.rule,
+            UnnestPlan::Agg(p) => &p.rule,
+        }
+    }
+
+    /// The final `WITH` threshold, if any.
+    pub fn threshold(&self) -> Option<Threshold> {
+        match self {
+            UnnestPlan::Flat(p) => p.threshold,
+            UnnestPlan::Anti(p) => p.threshold,
+            UnnestPlan::Agg(p) => p.threshold,
+        }
+    }
+
     /// A short human-readable label of the plan shape (for EXPLAIN-style
     /// output and experiment logs).
     pub fn label(&self) -> String {

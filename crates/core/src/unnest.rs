@@ -19,7 +19,7 @@
 use crate::error::{EngineError, Result};
 use crate::plan::{
     AggDegree, AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, PlanOperand, PlanTable,
-    UnnestPlan,
+    RewriteRule, UnnestPlan,
 };
 use fuzzy_core::{Value, Vocabulary};
 use fuzzy_rel::{AttrType, Catalog, Schema, StoredTable};
@@ -30,10 +30,13 @@ use fuzzy_sql::{
 /// Builds an unnested plan for the query, per its classified type.
 pub fn build_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
     match classify(q) {
-        QueryClass::Flat => flat_plan(&[q], catalog),
-        QueryClass::TypeN | QueryClass::TypeJ | QueryClass::TypeJSome | QueryClass::Chain(_) => {
+        QueryClass::Flat => flat_plan(&[q], catalog, QueryClass::Flat),
+        class @ (QueryClass::TypeN
+        | QueryClass::TypeJ
+        | QueryClass::TypeJSome
+        | QueryClass::Chain(_)) => {
             let blocks = collect_chain_blocks(q);
-            flat_plan(&blocks, catalog)
+            flat_plan(&blocks, catalog, class)
         }
         QueryClass::TypeNX | QueryClass::TypeJX => anti_exclusion_plan(q, catalog),
         QueryClass::TypeExists | QueryClass::TypeNotExists => exists_plan(q, catalog),
@@ -233,10 +236,11 @@ fn check_inner_block(q: &Query) -> Result<()> {
 // Flat plans (N', J', SOME, chains, already-flat queries)
 // ---------------------------------------------------------------------------
 
-fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
+fn flat_plan(blocks: &[&Query], catalog: &Catalog, class: QueryClass) -> Result<UnnestPlan> {
     let vocab = catalog.vocabulary();
     let mut tables: Vec<PlanTable> = Vec::new();
     let mut frames: Vec<(String, Schema)> = Vec::new();
+    let mut level_bindings: Vec<Vec<String>> = Vec::new();
     // Register the tables of every block, outermost first; bindings must be
     // unique across blocks for the flattening to be expressible.
     for (bi, block) in blocks.iter().enumerate() {
@@ -245,6 +249,7 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
         } else {
             check_inner_block(block)?;
         }
+        level_bindings.push(Vec::new());
         for tref in &block.from {
             let binding = tref.binding_name().to_string();
             if tables.iter().any(|t| t.binding.eq_ignore_ascii_case(&binding)) {
@@ -254,6 +259,7 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
             }
             let table = lookup_table(catalog, &tref.table)?;
             frames.push((binding.clone(), table.schema().clone()));
+            level_bindings[bi].push(binding.clone());
             tables.push(PlanTable { binding, table, local_preds: Vec::new() });
         }
     }
@@ -326,12 +332,47 @@ fn flat_plan(blocks: &[&Query], catalog: &Catalog) -> Result<UnnestPlan> {
     let outer_frames = blocks[0].from.len();
     let outer_scope = Scope { frames: frames[..outer_frames].to_vec() };
     let select = select_columns(blocks[0], &outer_scope)?;
+    // Tag with the equivalence rule. N vs. J is decided from the *bound*
+    // plan, not the classifier: an unqualified inner reference to an outer
+    // column is invisible to `classify` (it counts qualified names only) but
+    // resolves to the outer binding here, making the plan correlated — the
+    // tag must reflect what the plan actually is or the verifier's
+    // independence check (R-T4.1-INDEP) would reject a sound plan.
+    let rule = match class {
+        QueryClass::TypeJSome => RewriteRule::TypeSome { blocks: level_bindings },
+        QueryClass::Chain(_) => RewriteRule::Chain { blocks: level_bindings },
+        QueryClass::TypeN | QueryClass::TypeJ => {
+            let cross =
+                join_preds.iter().filter(|p| cross_level(p, &level_bindings).is_some()).count();
+            if cross <= 1 {
+                RewriteRule::TypeN { blocks: level_bindings }
+            } else {
+                RewriteRule::TypeJ { blocks: level_bindings }
+            }
+        }
+        _ => RewriteRule::Flat,
+    };
     Ok(UnnestPlan::Flat(FlatPlan {
         tables,
         join_preds,
         select,
         threshold: blocks[0].with_threshold,
+        rule,
     }))
+}
+
+/// The `(lo, hi)` level span of a predicate's bindings, when it references
+/// more than one nesting level.
+fn cross_level(p: &PlanCompare, levels: &[Vec<String>]) -> Option<(usize, usize)> {
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for b in p.bindings() {
+        if let Some(l) = levels.iter().position(|lv| lv.iter().any(|x| x == b)) {
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+    }
+    (lo < hi).then_some((lo, hi))
 }
 
 // ---------------------------------------------------------------------------
@@ -420,11 +461,14 @@ fn two_level(q: &Query, sub: &Query, catalog: &Catalog) -> Result<TwoLevel> {
     Ok(TwoLevel { outer, inner, scope, pair_preds })
 }
 
-/// Finds the merge-window equality among pair predicates: an `=` between an
-/// outer column and an inner column.
+/// Finds the merge-window equality among pair predicates: an *exact* `=`
+/// between an outer column and an inner column. Similarity predicates never
+/// qualify — their tolerance-widened matches are not bounded by support
+/// intersection, so inner tuples outside the ⪯ window could still have
+/// positive degree and window-scanning them would over-report group minima.
 fn find_window(pair_preds: &[PlanCompare], outer: &str, inner: &str) -> Option<(PlanCol, PlanCol)> {
     for p in pair_preds {
-        if p.op != fuzzy_core::CmpOp::Eq {
+        if p.op != fuzzy_core::CmpOp::Eq || p.tolerance.is_some() {
             continue;
         }
         match (p.lhs.as_col(), p.rhs.as_col()) {
@@ -475,6 +519,7 @@ fn anti_exclusion_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
         window,
         select,
         threshold: q.with_threshold,
+        rule: RewriteRule::Exclusion,
     }))
 }
 
@@ -505,6 +550,7 @@ fn exists_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
             window,
             select,
             threshold: q.with_threshold,
+            rule: RewriteRule::Exclusion,
         }))
     } else {
         // d_r = min(μ_R∧p₁, max_s min(μ_S∧p₂, d(corr))): the flat join on
@@ -514,6 +560,7 @@ fn exists_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
             join_preds: tl.pair_preds,
             select,
             threshold: q.with_threshold,
+            rule: RewriteRule::Exists,
         }))
     }
 }
@@ -548,6 +595,7 @@ fn anti_all_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
         window,
         select,
         threshold: q.with_threshold,
+        rule: RewriteRule::All,
     }))
 }
 
@@ -586,6 +634,16 @@ fn agg_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
     let corr = match tl.pair_preds.as_slice() {
         [] => None,
         [p] => {
+            if p.tolerance.is_some() {
+                // The grouping pipeline rebuilds the correlation comparison
+                // from (col, op, col) and would drop the tolerance — route
+                // similarity correlations to the naive evaluator instead.
+                return Err(EngineError::Unsupported(
+                    "a similarity correlation predicate in an aggregate sub-query is \
+                     evaluated by the naive strategy"
+                        .into(),
+                ));
+            }
             let (l, r) = match (p.lhs.as_col(), p.rhs.as_col()) {
                 (Some(l), Some(r)) => (l.clone(), r.clone()),
                 _ => {
@@ -622,5 +680,6 @@ fn agg_plan(q: &Query, catalog: &Catalog) -> Result<UnnestPlan> {
         select,
         threshold: q.with_threshold,
         agg_degree: AggDegree::One,
+        rule: RewriteRule::Aggregate,
     }))
 }

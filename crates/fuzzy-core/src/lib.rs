@@ -33,6 +33,7 @@
 //! # Ok::<(), fuzzy_core::FuzzyError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arith;

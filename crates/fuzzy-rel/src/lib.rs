@@ -22,6 +22,7 @@
 //! # Ok::<(), fuzzy_core::FuzzyError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -20,6 +20,7 @@
 //! # Ok::<(), fuzzy_sql::ParseError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -38,4 +39,4 @@ pub use ast::{
 pub use classify::{chain_depth, classify, is_correlated, QueryClass};
 pub use error::{ParseError, Result};
 pub use parser::parse;
-pub use statement::{parse_statement, ColumnDef, Statement};
+pub use statement::{parse_statement, ColumnDef, ExplainMode, Statement};

@@ -85,15 +85,28 @@ pub enum Statement {
         /// The table to analyze, or `None` for all.
         table: Option<String>,
     },
-    /// `EXPLAIN [ANALYZE] <select>` — render the unnested plan (or naive
-    /// fallback) for a query; with `ANALYZE`, run it and annotate the plan
-    /// with the per-operator counters actually observed.
+    /// `EXPLAIN [ANALYZE | VERIFY] <select>` — render the unnested plan (or
+    /// naive fallback) for a query; with `ANALYZE`, run it and annotate the
+    /// plan with the per-operator counters actually observed; with `VERIFY`,
+    /// run the static plan verifier and report the physical-property checks.
     Explain {
-        /// True for `EXPLAIN ANALYZE` (execute and report actual metrics).
-        analyze: bool,
+        /// Which flavour of EXPLAIN was requested.
+        mode: ExplainMode,
         /// The query being explained.
         query: Query,
     },
+}
+
+/// The flavour of an `EXPLAIN` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Plain `EXPLAIN`: the deterministic plan rendering.
+    #[default]
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute and report actual per-operator metrics.
+    Analyze,
+    /// `EXPLAIN VERIFY`: run the static plan verifier and report its checks.
+    Verify,
 }
 
 /// Parses one statement (SELECT or DDL/DML).
@@ -413,11 +426,17 @@ impl StatementParser {
         Ok(Statement::Analyze { table })
     }
 
-    /// `EXPLAIN [ANALYZE] <select>`: the tail after the prefix keywords is
-    /// re-parsed as a full query by the main parser.
+    /// `EXPLAIN [ANALYZE | VERIFY] <select>`: the tail after the prefix
+    /// keywords is re-parsed as a full query by the main parser.
     fn explain(&mut self) -> Result<Statement> {
         self.expect_word("EXPLAIN")?;
-        let analyze = self.eat_word("ANALYZE");
+        let mode = if self.eat_word("ANALYZE") {
+            ExplainMode::Analyze
+        } else if self.eat_word("VERIFY") {
+            ExplainMode::Verify
+        } else {
+            ExplainMode::Plan
+        };
         if matches!(self.peek(), TokenKind::Eof) {
             return Err(ParseError::at(self.offset(), "expected a SELECT query after EXPLAIN"));
         }
@@ -425,7 +444,7 @@ impl StatementParser {
         let rest = &self.src[base..];
         let query = crate::parser::parse(rest)
             .map_err(|e| ParseError::at(base + e.offset, e.message.clone()))?;
-        Ok(Statement::Explain { analyze, query })
+        Ok(Statement::Explain { mode, query })
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -567,20 +586,23 @@ mod tests {
     fn parses_explain() {
         let s = parse_statement("EXPLAIN SELECT F.NAME FROM F").unwrap();
         match s {
-            Statement::Explain { analyze, query } => {
-                assert!(!analyze);
+            Statement::Explain { mode, query } => {
+                assert_eq!(mode, ExplainMode::Plan);
                 assert_eq!(query.from.len(), 1);
             }
             other => panic!("{other:?}"),
         }
         let s =
             parse_statement("explain analyze SELECT F.NAME FROM F WHERE F.AGE = 'young'").unwrap();
-        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        assert!(matches!(s, Statement::Explain { mode: ExplainMode::Analyze, .. }));
+        let s = parse_statement("EXPLAIN VERIFY SELECT F.NAME FROM F").unwrap();
+        assert!(matches!(s, Statement::Explain { mode: ExplainMode::Verify, .. }));
         // Errors inside the query are reported at the right offset.
         let e = parse_statement("EXPLAIN SELECT").unwrap_err();
         assert!(e.offset >= "EXPLAIN ".len(), "offset {} not rebased", e.offset);
         assert!(parse_statement("EXPLAIN").is_err());
         assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+        assert!(parse_statement("EXPLAIN VERIFY").is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! # Ok::<(), fuzzy_storage::StorageError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;

@@ -5,6 +5,7 @@
 //! generator (n tuples of a fixed byte size whose join attribute values give
 //! an average fan-out of C with small intervals).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

@@ -8,6 +8,8 @@
 //! and prints mean wall-clock time — enough to compare runs by eye and to
 //! keep `cargo bench` working offline.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

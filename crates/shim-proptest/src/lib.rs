@@ -14,6 +14,8 @@
 //! - string strategies interpret only the `.{lo,hi}` regex shape (arbitrary
 //!   strings up to a length bound), which is the one shape the workspace uses.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{RngCore, SampleRange, SeedableRng};
 use std::fmt;

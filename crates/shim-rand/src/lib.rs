@@ -8,6 +8,8 @@
 //! reproducible across platforms (which is all the tests and benches need);
 //! it is NOT a cryptographic or research-grade source of randomness.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level 64-bit generator interface (subset of `rand_core::RngCore`).

@@ -35,9 +35,35 @@ cargo test --workspace -q
 echo "==> EXPLAIN golden suite (fails on drift; UPDATE_GOLDEN=1 regenerates)"
 cargo test -q --test explain_golden
 
-echo "==> metrics hygiene (no dead_code escapes on the registry)"
-if grep -n '#\[allow(dead_code)\]' crates/core/src/metrics.rs crates/core/src/explain.rs; then
-  echo "error: metrics/explain code must not silence dead_code — wire the field up or remove it" >&2
+echo "==> static plan verifier suite (corpus + injected failures + goldens)"
+cargo test -q --test verify_plans
+cargo test -q --test verify_golden
+
+echo "==> unsafe hygiene (every crate must forbid unsafe_code)"
+for f in src/lib.rs crates/*/src/lib.rs; do
+  if ! grep -q '^#!\[forbid(unsafe_code)\]' "$f"; then
+    echo "error: $f does not carry #![forbid(unsafe_code)]" >&2
+    exit 1
+  fi
+done
+
+echo "==> panic hygiene (no unwrap/expect in non-test core engine code)"
+# Non-test = everything before the first #[cfg(test)] block of each file.
+# Allowed: the documented invariant expects listed in the allowlist.
+panics=$(for f in crates/core/src/*.rs; do
+  awk '/^#\[cfg\(test\)\]/{exit} {print FILENAME":"NR": "$0}' "$f"
+done | grep -E '\.unwrap\(\)|\.expect\(' | grep -vFf scripts/unwrap_expect_allowlist.txt || true)
+if [[ -n "$panics" ]]; then
+  echo "error: unlisted unwrap()/expect() in non-test engine code — return an" >&2
+  echo "EngineError or add the documented invariant to scripts/unwrap_expect_allowlist.txt:" >&2
+  echo "$panics" >&2
+  exit 1
+fi
+
+echo "==> metrics/planner hygiene (no dead_code escapes)"
+if grep -n '#\[allow(dead_code)\]' crates/core/src/metrics.rs crates/core/src/explain.rs \
+    crates/core/src/verify.rs crates/core/src/plan.rs crates/core/src/optimizer.rs; then
+  echo "error: engine code must not silence dead_code — wire the field up or remove it" >&2
   exit 1
 fi
 

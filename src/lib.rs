@@ -56,6 +56,7 @@
 //! * [`workload`] — the paper's example datasets and the Section 9 synthetic
 //!   workload generator.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use fuzzy_core as core;
@@ -243,6 +244,17 @@ impl Database {
         Ok(text)
     }
 
+    /// Renders the `EXPLAIN VERIFY` output for a query: the static plan
+    /// verifier's report — the rewrite rule applied, the threshold push-down
+    /// bound, every physical operator's required and delivered properties,
+    /// and any violations (see `fuzzy_engine::verify`).
+    pub fn explain_verify(&self, sql: &str) -> Result<String, EngineError> {
+        Engine::new(&self.catalog, &self.disk)
+            .with_config(self.config)
+            .with_statistics(self.statistics.clone())
+            .explain_verify(sql)
+    }
+
     /// The catalog (tables + vocabulary).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -378,7 +390,8 @@ pub enum StatementResult {
     Rows(Relation),
     /// Tuples inserted, deleted, or updated.
     Affected(usize),
-    /// The rendered text of an `EXPLAIN` or `EXPLAIN ANALYZE` statement.
+    /// The rendered text of an `EXPLAIN`, `EXPLAIN ANALYZE`, or
+    /// `EXPLAIN VERIFY` statement.
     Explained(String),
     /// A DDL statement (CREATE TABLE, DEFINE TERM) succeeded.
     Done,
@@ -404,14 +417,14 @@ impl Database {
                     .run(&q, Strategy::Unnest)?;
                 Ok(StatementResult::Rows(out.answer))
             }
-            Statement::Explain { analyze, query } => {
+            Statement::Explain { mode, query } => {
                 let engine = Engine::new(&self.catalog, &self.disk)
                     .with_config(self.config)
                     .with_statistics(self.statistics.clone());
-                let text = if analyze {
-                    engine.explain_analyze_query(&query)?.0
-                } else {
-                    engine.explain_query(&query)?
+                let text = match mode {
+                    fuzzy_sql::ExplainMode::Plan => engine.explain_query(&query)?,
+                    fuzzy_sql::ExplainMode::Analyze => engine.explain_analyze_query(&query)?.0,
+                    fuzzy_sql::ExplainMode::Verify => engine.explain_verify_query(&query)?,
                 };
                 Ok(StatementResult::Explained(text))
             }
