@@ -103,7 +103,22 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs a parsed query with the given strategy.
+    ///
+    /// Every page allocated while the statement runs is a temporary — sort
+    /// runs, partition scratch, materialized intermediates; base tables are
+    /// loaded outside statement execution — so all of them are returned to
+    /// the disk's free list at statement end (on the error path too).
+    /// Repeated statements therefore cannot grow the simulated disk.
     pub fn run(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
+        self.disk.begin_alloc_log();
+        let result = self.run_query(q, strategy);
+        for page in self.disk.take_alloc_log() {
+            self.disk.free_page(page);
+        }
+        result
+    }
+
+    fn run_query(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
         let io_before = self.disk.io();
         let start = Instant::now();
         let (answer, exec_stats, metrics, plan_label) = match strategy {

@@ -1,0 +1,191 @@
+//! The anti operator: grouped `MIN(D)` accumulation for negated nesting
+//! (JX', NX', JALL', ALL' — Theorems 5.1 / 7.1). Each outer tuple's degree
+//! is the fuzzy AND of the negated contributions of its matching inner
+//! tuples; with a window predicate the inner scan is the same `Rng(r)`
+//! merge window the flat join uses, which is exact because tuples outside
+//! the window contribute the neutral 1.
+
+use crate::error::{EngineError, Result};
+use crate::exec::op::{PhysicalOp, Slot, TreeState};
+use crate::exec::{BoundCompare, Executor, Layout};
+use crate::metrics::{OpKind, OperatorMetrics};
+use crate::plan::{AntiKind, AntiPlan, PlanCol, PlanCompare};
+use crate::verify::{PhysOp, Prop};
+use fuzzy_core::{Degree, Value};
+use fuzzy_rel::Tuple;
+
+/// Declaration of the merge-window anti operator over ⪯-sorted inputs.
+pub(crate) fn declared_properties_merge(
+    plan: &AntiPlan,
+    ocol: &PlanCol,
+    icol: &PlanCol,
+    sort_o: usize,
+    sort_i: usize,
+) -> PhysOp {
+    let z = Degree::ZERO;
+    PhysOp::declare(
+        format!("anti-merge {} x {}", plan.outer.binding, plan.inner.binding),
+        vec![sort_o, sort_i],
+        vec![
+            (0, Prop::Sorted { col: ocol.clone(), alpha: z }),
+            (1, Prop::Sorted { col: icol.clone(), alpha: z }),
+            (0, Prop::Binding(plan.outer.binding.clone())),
+            (1, Prop::Binding(plan.inner.binding.clone())),
+        ],
+        vec![Prop::Binding(plan.outer.binding.clone()), Prop::MinDegree(z)],
+    )
+}
+
+/// Declaration of the scan-fallback anti operator (uncorrelated NOT IN/ALL).
+pub(crate) fn declared_properties_scan(plan: &AntiPlan, scan_o: usize, scan_i: usize) -> PhysOp {
+    let z = Degree::ZERO;
+    PhysOp::declare(
+        format!("anti-scan {} x {}", plan.outer.binding, plan.inner.binding),
+        vec![scan_o, scan_i],
+        vec![
+            (0, Prop::Binding(plan.outer.binding.clone())),
+            (1, Prop::Binding(plan.inner.binding.clone())),
+        ],
+        vec![Prop::Binding(plan.outer.binding.clone()), Prop::MinDegree(z)],
+    )
+}
+
+/// The anti operator: consumes the (sorted or scanned) outer and inner
+/// tables and publishes the accumulated answer rows.
+pub(crate) struct AntiOp {
+    slot: usize,
+    decl: PhysOp,
+    outer: usize,
+    inner: usize,
+    plan: AntiPlan,
+    merge: bool,
+}
+
+impl AntiOp {
+    pub(crate) fn new(
+        slot: usize,
+        decl: PhysOp,
+        outer: usize,
+        inner: usize,
+        plan: AntiPlan,
+        merge: bool,
+    ) -> Self {
+        AntiOp { slot, decl, outer, inner, plan, merge }
+    }
+}
+
+impl PhysicalOp for AntiOp {
+    fn declared_properties(&self) -> &PhysOp {
+        &self.decl
+    }
+
+    fn out_slot(&self) -> usize {
+        self.slot
+    }
+
+    fn open(&mut self, ex: &mut Executor, state: &mut TreeState) -> Result<()> {
+        let plan = &self.plan;
+        let mut pair_layout = Layout::of_table(&plan.outer);
+        pair_layout.push(&plan.inner);
+        let pair = pair_layout.bind_all(&plan.pair_preds)?;
+        let kind_extra: Option<BoundCompare> = match &plan.kind {
+            AntiKind::Exclusion => None,
+            AntiKind::All { op, lhs, rhs } => Some(pair_layout.bind(&PlanCompare {
+                lhs: lhs.clone(),
+                op: *op,
+                rhs: rhs.clone(),
+                tolerance: None,
+            })?),
+        };
+        // The negated contribution of one inner tuple to the MIN(D) group of
+        // one outer tuple: 1 − min(μ_S∧p₂, d(pair preds) [, 1 − d(Y op Z)]).
+        let contribution = |r: &Tuple, s: &Tuple, m: &mut OperatorMetrics| -> Degree {
+            let mut inner_d = s.degree;
+            for p in &pair {
+                m.fuzzy_comparisons += 1;
+                inner_d = inner_d.and(p.eval_pair(&r.values, &s.values));
+                if !inner_d.is_positive() {
+                    return Degree::ONE; // neutral
+                }
+            }
+            if let Some(b) = &kind_extra {
+                m.fuzzy_comparisons += 1;
+                inner_d = inner_d.and(b.eval_pair(&r.values, &s.values).not());
+            }
+            inner_d.not()
+        };
+
+        let outer_layout = Layout::of_table(&plan.outer);
+        let (_, select_idx) = outer_layout.projection(&plan.select)?;
+        let mut rows: Vec<(Vec<Value>, Degree)> = Vec::new();
+        let outer_t = state.take_table(self.outer)?;
+        let inner_t = state.take_table(self.inner)?;
+
+        if self.merge {
+            let Some((ocol, icol)) = plan.window.as_ref() else {
+                return Err(EngineError::Verify("anti-merge lowered without a window".into()));
+            };
+            // Inner tuples outside Rng(r) have window-predicate degree 0,
+            // so they contribute the neutral 1: scanning only the window
+            // is exact (this is what makes JX'/JALL' merge-joinable).
+            // No threshold push-down here: low-degree pairs still lower
+            // the MIN(D) group degree.
+            ex.merge_window(
+                &outer_t,
+                ocol.attr,
+                &inner_t,
+                icol.attr,
+                Degree::ZERO,
+                OpKind::Anti,
+                self.decl.name.clone(),
+                |r, rng, m| {
+                    let mut acc = r.degree;
+                    for s in rng {
+                        acc = acc.and(contribution(r, s, m));
+                        if !acc.is_positive() {
+                            break;
+                        }
+                    }
+                    if acc.is_positive() {
+                        m.tuples_out += 1;
+                        rows.push((crate::exec::project(r, &select_idx), acc));
+                    }
+                    Ok(())
+                },
+            )?;
+        } else {
+            // Scan fallback (uncorrelated NOT IN / ALL): the inner set is
+            // built once — the unnesting benefit — then the outer streams
+            // against it.
+            let g = ex.begin_op(OpKind::Anti, self.decl.name.clone());
+            let pool = ex.pool(ex.config.buffer_pages);
+            let inner_all: Vec<Tuple> =
+                inner_t.scan(&pool).collect::<fuzzy_storage::Result<_>>()?;
+            let opool = ex.pool(1);
+            let mut m = OperatorMetrics::default();
+            m.tuples_in += inner_all.len() as u64;
+            for r in outer_t.scan(&opool) {
+                let r = r?;
+                m.tuples_in += 1;
+                let mut acc = r.degree;
+                for s in &inner_all {
+                    m.pairs_examined += 1;
+                    acc = acc.and(contribution(&r, s, &mut m));
+                    if !acc.is_positive() {
+                        break;
+                    }
+                }
+                if acc.is_positive() {
+                    m.tuples_out += 1;
+                    rows.push((crate::exec::project(&r, &select_idx), acc));
+                }
+            }
+            m.add_pool(&pool.stats());
+            m.add_pool(&opool.stats());
+            ex.absorb_op(&g, &m);
+            ex.end_op(g);
+        }
+        state.set(self.slot, Slot::Answer(rows));
+        Ok(())
+    }
+}

@@ -1,0 +1,78 @@
+//! Block nested-loop: the fallback join when no exact-equality merge driver
+//! exists, and the engine's baseline strategies' workhorse. The outer is
+//! read once in blocks of `M − 1` pages; the inner is scanned once per
+//! block through a single reserved frame (the paper's Section 9 buffer
+//! allocation for the nested-loop method).
+
+use crate::error::Result;
+use crate::exec::Executor;
+use crate::metrics::{OpKind, OperatorMetrics};
+use crate::verify::{PhysOp, Prop};
+use fuzzy_rel::{StoredTable, Tuple};
+
+/// Declaration of a flat nested-loop join step: no sort requirements — the
+/// step's binding/degree requirements come from the lowering pass.
+pub(crate) fn declared_properties(
+    t_binding: &str,
+    inputs: Vec<usize>,
+    requires: Vec<(usize, Prop)>,
+    delivers: Vec<Prop>,
+) -> PhysOp {
+    PhysOp::declare(format!("nested-loop +{t_binding}"), inputs, requires, delivers)
+}
+
+impl Executor {
+    /// Block nested loop with per-outer-tuple accumulators: `init` seeds an
+    /// accumulator per outer tuple, `observe` is invoked per (outer, inner)
+    /// pair, and `finalize` fires once per outer tuple after its block's
+    /// inner scan — which is what lets this one operator evaluate *nested*
+    /// queries (the per-tuple temporary relation T(r) accumulates in `A`).
+    pub(crate) fn block_nested_loop<A>(
+        &mut self,
+        outer: &StoredTable,
+        inner: &StoredTable,
+        label: String,
+        mut init: impl FnMut(&Tuple, &mut OperatorMetrics) -> A,
+        mut observe: impl FnMut(&mut A, &Tuple, &Tuple, &mut OperatorMetrics) -> Result<()>,
+        mut finalize: impl FnMut(Tuple, A, &mut OperatorMetrics) -> Result<()>,
+    ) -> Result<()> {
+        let g = self.begin_op(OpKind::Join, label);
+        let block_pages = self.config.buffer_pages.saturating_sub(1).max(1) as u64;
+        let n_pages = outer.num_pages();
+        let mut m = OperatorMetrics::default();
+        let mut block_start = 0u64;
+        while block_start < n_pages {
+            let block_end = (block_start + block_pages).min(n_pages);
+            // Read the outer block (each page charged exactly once overall).
+            let mut block: Vec<(Tuple, A)> = Vec::new();
+            for pi in block_start..block_end {
+                let pid = outer.file().page_id(pi as u32)?;
+                let page = fuzzy_storage::Page::from_bytes(self.disk.read_page(pid)?)?;
+                for rec in page.records() {
+                    let t = Tuple::decode(rec)?;
+                    m.tuples_in += 1;
+                    let a = init(&t, &mut m);
+                    block.push((t, a));
+                }
+            }
+            // One scan of the inner per block, through one frame.
+            let ipool = self.pool(1);
+            for s in inner.scan(&ipool) {
+                let s = s?;
+                m.tuples_in += 1;
+                for (r, a) in &mut block {
+                    m.pairs_examined += 1;
+                    observe(a, r, &s, &mut m)?;
+                }
+            }
+            m.add_pool(&ipool.stats());
+            for (r, a) in block {
+                finalize(r, a, &mut m)?;
+            }
+            block_start = block_end;
+        }
+        self.absorb_op(&g, &m);
+        self.end_op(g);
+        Ok(())
+    }
+}

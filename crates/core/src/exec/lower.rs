@@ -1,0 +1,690 @@
+//! Lowering: turns a logical [`UnnestPlan`] into the physical operator tree
+//! the executor drives — and, because every node is emitted *together with*
+//! its property declaration, the [`crate::verify`] static analysis checks
+//! exactly the tree that runs. There is no separately mirrored outline: the
+//! verifier's [`Outline`] is the `ops` field of the [`Lowered`] plan, one
+//! [`crate::verify::PhysOp`] per [`Node`], same indices, same edges.
+//!
+//! Lowering is *infallible*: all name resolution and binding that can fail
+//! is deferred to each operator's `open`, so `EXPLAIN`/`EXPLAIN VERIFY` can
+//! render and check a tree without touching the catalog or the disk.
+
+use crate::exec::op::PhysicalOp;
+use crate::exec::{agg, anti, block_nl, filter_scan, flat, merge_join, output, partitioned, sort};
+use crate::exec::{ExecConfig, JoinMethod, Layout};
+use crate::plan::{AggPlan, AntiPlan, FlatPlan, PlanCol, PlanCompare, UnnestPlan};
+use crate::stats_histogram::StatsRegistry;
+use crate::verify::{Outline, PhysOp};
+use fuzzy_core::{CmpOp, Degree};
+use fuzzy_sql::Threshold;
+
+pub(crate) use crate::exec::agg::AggMode;
+
+/// A lowered plan: the plan as the executor actually runs it (join reorder
+/// applied), the pushed-down pruning bound, the verifier-checkable operator
+/// outline, and the physical node for each outline position.
+pub(crate) struct Lowered {
+    /// The plan after the same join reorder the executor applies.
+    pub(crate) plan: UnnestPlan,
+    /// The pruning bound pushed into the pipeline (flat plans only).
+    pub(crate) alpha: Degree,
+    /// The property-carrying operator tree; `ops[i]` declares `nodes[i]`.
+    pub(crate) outline: Outline,
+    /// The physical node per outline position.
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// What one join step does with its output (chosen at lowering time, by
+/// looking at the *consumer*).
+#[derive(Clone)]
+pub(crate) enum SinkMode {
+    /// Final step: project straight into the answer rows.
+    Answer {
+        /// The projection columns.
+        select: Vec<PlanCol>,
+    },
+    /// Pipelined: keep the concatenated tuples in memory for the next merge
+    /// step's sort boundary.
+    Rows,
+    /// Materialize a temp table (the consumer re-scans by page).
+    Materialize,
+}
+
+/// The physical method of one flat join step.
+#[derive(Clone)]
+pub(crate) enum StepMethod {
+    /// Extended merge-join on an exact-equality driver.
+    Merge {
+        /// Driver column on the bound side.
+        cur_col: PlanCol,
+        /// Driver column on the joined table.
+        next_col: PlanCol,
+    },
+    /// Partitioned join on an exact-equality driver.
+    Partitioned {
+        /// Driver column on the bound side.
+        cur_col: PlanCol,
+        /// Driver column on the joined table.
+        next_col: PlanCol,
+    },
+    /// Block nested-loop (no exact-equality driver).
+    NestedLoop,
+}
+
+/// Everything one flat join step needs at `open` time.
+#[derive(Clone)]
+pub(crate) struct JoinStep {
+    /// The step's physical method.
+    pub(crate) method: StepMethod,
+    /// Evaluable predicates minus the driver, in plan order.
+    pub(crate) residuals: Vec<PlanCompare>,
+    /// Layout of the bound side (before this step).
+    pub(crate) layout: Layout,
+    /// Layout after this step joins its table.
+    pub(crate) next_layout: Layout,
+    /// The pushed-down pruning bound.
+    pub(crate) alpha: Degree,
+    /// Where the step's output goes.
+    pub(crate) sink: SinkMode,
+}
+
+/// One physical node of a lowered tree. Slot `i` of the executing tree holds
+/// the output of `nodes[i]`; input indices refer to those slots and mirror
+/// the outline's edges exactly.
+#[derive(Clone)]
+pub(crate) enum Node {
+    /// Filter scan of a base table at a degree bound.
+    Scan {
+        /// The table to scan.
+        table: crate::plan::PlanTable,
+        /// Tuples below this bound are dropped.
+        min_degree: Degree,
+    },
+    /// Single-table select + project straight to answer rows.
+    Select {
+        /// Input slot.
+        input: usize,
+        /// The (only) plan table.
+        table: crate::plan::PlanTable,
+        /// Remaining predicates.
+        preds: Vec<PlanCompare>,
+        /// Projection columns.
+        select: Vec<PlanCol>,
+    },
+    /// External ⪯-sort of a table or a pipelined row buffer.
+    Sort {
+        /// Input slot.
+        input: usize,
+        /// Layout of the input stream (resolves the sort column).
+        layout: Layout,
+        /// The sort column.
+        col: PlanCol,
+        /// The α-cut the interval order uses.
+        alpha: Degree,
+    },
+    /// One flat join step.
+    Join {
+        /// Bound-side input slot.
+        left: usize,
+        /// Joined-table input slot.
+        right: usize,
+        /// The step description.
+        step: JoinStep,
+    },
+    /// Grouped MIN(D) anti accumulation.
+    Anti {
+        /// Outer input slot.
+        outer: usize,
+        /// Inner input slot.
+        inner: usize,
+        /// The anti plan.
+        plan: AntiPlan,
+        /// Merge-window mode (sorted inputs) vs. scan fallback.
+        merge: bool,
+    },
+    /// Nested aggregate evaluation.
+    Agg {
+        /// Outer input slot.
+        outer: usize,
+        /// Inner input slot.
+        inner: usize,
+        /// The aggregate plan.
+        plan: AggPlan,
+        /// How the inputs are consumed.
+        mode: AggMode,
+    },
+    /// Project/emit: fuzzy-OR dedup + final threshold.
+    Output {
+        /// Input slot (answer rows).
+        input: usize,
+        /// Layout the projection resolves against.
+        layout: Layout,
+        /// Projection columns.
+        select: Vec<PlanCol>,
+        /// The statement's `WITH D > z` threshold.
+        threshold: Option<Threshold>,
+    },
+}
+
+/// Lowers a plan under a configuration: applies the optimizer's join
+/// reorder, derives the push-down bound, and emits the operator tree with
+/// its property declarations. This is the single source of physical
+/// decisions — the executor runs the tree, the verifier checks it, and
+/// `EXPLAIN` renders it.
+pub(crate) fn lower(
+    plan: &UnnestPlan,
+    config: &ExecConfig,
+    stats: Option<&StatsRegistry>,
+) -> Lowered {
+    let plan = effective_plan(plan, config, stats);
+    let alpha = crate::exec::pushdown_alpha(config, &plan);
+    let (ops, nodes) = match &plan {
+        UnnestPlan::Flat(p) => lower_flat(p, config, alpha),
+        UnnestPlan::Anti(p) => lower_anti(p),
+        UnnestPlan::Agg(p) => lower_agg(p),
+    };
+    Lowered { plan, alpha, outline: Outline { ops }, nodes }
+}
+
+/// The plan as the executor will actually run it: multi-way flat joins are
+/// reordered through the optimizer entry point with the same statistics the
+/// executor sees.
+fn effective_plan(
+    plan: &UnnestPlan,
+    config: &ExecConfig,
+    stats: Option<&StatsRegistry>,
+) -> UnnestPlan {
+    match plan {
+        UnnestPlan::Flat(p) if config.reorder_joins && p.tables.len() > 2 => {
+            let mut reordered = p.clone();
+            crate::optimizer::reorder_joins_with(&mut reordered, stats);
+            UnnestPlan::Flat(reordered)
+        }
+        other => other.clone(),
+    }
+}
+
+fn push(ops: &mut Vec<PhysOp>, nodes: &mut Vec<Node>, op: PhysOp, node: Node) -> usize {
+    ops.push(op);
+    nodes.push(node);
+    ops.len() - 1
+}
+
+/// One flat join step's decisions, computed for every step before any node
+/// is emitted so a step can see its *consumer* (the pipelining decision).
+struct StepPlan {
+    /// Predicates evaluable at this step, in plan order.
+    evaluable: Vec<PlanCompare>,
+    /// The merge driver, if an exact equality links the bound side and `t`:
+    /// (bound-side column, t's column, position within `evaluable`).
+    driver: Option<(PlanCol, PlanCol, usize)>,
+    /// Layout before this step.
+    layout: Layout,
+    /// Layout after this step.
+    next_layout: Layout,
+    /// Bound binding names before this step.
+    bound: Vec<String>,
+}
+
+fn lower_flat(p: &FlatPlan, config: &ExecConfig, alpha: Degree) -> (Vec<PhysOp>, Vec<Node>) {
+    let mut ops: Vec<PhysOp> = Vec::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut scans: Vec<usize> = Vec::new();
+    for t in &p.tables {
+        scans.push(push(
+            &mut ops,
+            &mut nodes,
+            filter_scan::declared_properties(&t.binding, alpha),
+            Node::Scan { table: t.clone(), min_degree: alpha },
+        ));
+    }
+    let first = match scans.first().copied() {
+        Some(s) => s,
+        None => return (ops, nodes), // empty FROM: the driver errors out
+    };
+    if p.tables.len() == 1 {
+        let t = &p.tables[0];
+        let sel = push(
+            &mut ops,
+            &mut nodes,
+            flat::declared_properties_select(&t.binding, alpha, first),
+            Node::Select {
+                input: first,
+                table: t.clone(),
+                preds: p.join_preds.clone(),
+                select: p.select.clone(),
+            },
+        );
+        push(
+            &mut ops,
+            &mut nodes,
+            output::declared_properties(sel, &p.select),
+            Node::Output {
+                input: sel,
+                layout: Layout::of_table(t),
+                select: p.select.clone(),
+                threshold: p.threshold,
+            },
+        );
+        return (ops, nodes);
+    }
+
+    // Pass 1: per-step decisions (evaluable predicates, merge driver,
+    // layouts) — computed up front so pass 2 can consult a step's consumer
+    // when deciding whether its output pipelines or materializes.
+    let mut layout = Layout::of_table(&p.tables[0]);
+    let mut bound: Vec<String> = vec![p.tables[0].binding.clone()];
+    let mut remaining: Vec<PlanCompare> = p.join_preds.clone();
+    let mut steps: Vec<StepPlan> = Vec::new();
+    for (i, t) in p.tables.iter().enumerate().skip(1) {
+        let last = i == p.tables.len() - 1;
+        let mut next_layout = layout.clone();
+        next_layout.push(t);
+        // Predicates that become evaluable once t is joined; on the last
+        // step every remaining predicate must be applied.
+        let (evaluable, kept): (Vec<PlanCompare>, Vec<PlanCompare>) =
+            remaining.into_iter().partition(|pr| {
+                last || pr.bindings().iter().all(|b| layout.contains(b) || *b == t.binding)
+            });
+        remaining = kept;
+        // Pick an exact equality between the bound set and t as merge
+        // driver. Similarity predicates (op Eq with a tolerance) must
+        // not drive: their widened matches are not bounded by support
+        // intersection, so the merge window would miss pairs — they stay
+        // residuals, evaluated with their tolerance.
+        let driver = evaluable.iter().enumerate().find_map(|(pos, pr)| {
+            if pr.op != CmpOp::Eq || pr.tolerance.is_some() {
+                return None;
+            }
+            match (pr.lhs.as_col(), pr.rhs.as_col()) {
+                (Some(l), Some(r)) if layout.contains(&l.binding) && r.binding == t.binding => {
+                    Some((l.clone(), r.clone(), pos))
+                }
+                (Some(l), Some(r)) if layout.contains(&r.binding) && l.binding == t.binding => {
+                    Some((r.clone(), l.clone(), pos))
+                }
+                _ => None,
+            }
+        });
+        steps.push(StepPlan {
+            evaluable,
+            driver,
+            layout: layout.clone(),
+            next_layout: next_layout.clone(),
+            bound: bound.clone(),
+        });
+        layout = next_layout;
+        bound.push(t.binding.clone());
+    }
+    let final_layout = layout;
+
+    // Pass 2: emit the nodes.
+    let mut cur = first;
+    for (k, sp) in steps.iter().enumerate() {
+        let t = &p.tables[k + 1];
+        let last = k == steps.len() - 1;
+        // Binding provenance required by this step's predicates.
+        let mut requires = vec![
+            (0, crate::verify::Prop::MinDegree(alpha)),
+            (1, crate::verify::Prop::MinDegree(alpha)),
+        ];
+        for pr in &sp.evaluable {
+            for b in pr.bindings() {
+                let slot = usize::from(b == t.binding);
+                let prop = crate::verify::Prop::Binding(b.to_string());
+                if !requires.iter().any(|(s, q)| *s == slot && *q == prop) {
+                    requires.push((slot, prop));
+                }
+            }
+        }
+        let mut delivers: Vec<crate::verify::Prop> =
+            sp.bound.iter().map(|b| crate::verify::Prop::Binding(b.clone())).collect();
+        delivers.push(crate::verify::Prop::Binding(t.binding.clone()));
+        delivers.push(crate::verify::Prop::MinDegree(alpha));
+        // The step's sink, decided by its consumer: the last step streams
+        // into the answer; a step feeding a merge step's sort boundary
+        // pipelines in memory; anything else (partitioned or nested-loop
+        // consumers re-scan by page) materializes a temp table.
+        let sink = if last {
+            SinkMode::Answer { select: p.select.clone() }
+        } else if config.pipeline_joins
+            && steps[k + 1].driver.is_some()
+            && config.join_method == JoinMethod::Merge
+        {
+            SinkMode::Rows
+        } else {
+            SinkMode::Materialize
+        };
+        let residuals: Vec<PlanCompare> = match &sp.driver {
+            Some((_, _, pos)) => sp
+                .evaluable
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j != pos)
+                .map(|(_, pr)| pr.clone())
+                .collect(),
+            None => sp.evaluable.clone(),
+        };
+        cur = match (&sp.driver, config.join_method) {
+            (Some((cur_col, next_col, _)), JoinMethod::Merge) => {
+                let sort_left = push(
+                    &mut ops,
+                    &mut nodes,
+                    sort::declared_properties_bound(cur, &sp.bound, cur_col, alpha),
+                    Node::Sort {
+                        input: cur,
+                        layout: sp.layout.clone(),
+                        col: cur_col.clone(),
+                        alpha,
+                    },
+                );
+                let sort_right = push(
+                    &mut ops,
+                    &mut nodes,
+                    sort::declared_properties_base(scans[k + 1], &t.binding, next_col, alpha),
+                    Node::Sort {
+                        input: scans[k + 1],
+                        layout: Layout::of_table(t),
+                        col: next_col.clone(),
+                        alpha,
+                    },
+                );
+                push(
+                    &mut ops,
+                    &mut nodes,
+                    merge_join::declared_properties(
+                        &t.binding,
+                        vec![sort_left, sort_right],
+                        requires,
+                        delivers,
+                        cur_col,
+                        next_col,
+                        alpha,
+                    ),
+                    Node::Join {
+                        left: sort_left,
+                        right: sort_right,
+                        step: JoinStep {
+                            method: StepMethod::Merge {
+                                cur_col: cur_col.clone(),
+                                next_col: next_col.clone(),
+                            },
+                            residuals,
+                            layout: sp.layout.clone(),
+                            next_layout: sp.next_layout.clone(),
+                            alpha,
+                            sink,
+                        },
+                    },
+                )
+            }
+            (Some((cur_col, next_col, _)), JoinMethod::Partitioned) => push(
+                &mut ops,
+                &mut nodes,
+                partitioned::declared_properties(
+                    &t.binding,
+                    vec![cur, scans[k + 1]],
+                    requires,
+                    delivers,
+                ),
+                Node::Join {
+                    left: cur,
+                    right: scans[k + 1],
+                    step: JoinStep {
+                        method: StepMethod::Partitioned {
+                            cur_col: cur_col.clone(),
+                            next_col: next_col.clone(),
+                        },
+                        residuals,
+                        layout: sp.layout.clone(),
+                        next_layout: sp.next_layout.clone(),
+                        alpha,
+                        sink,
+                    },
+                },
+            ),
+            (None, _) => push(
+                &mut ops,
+                &mut nodes,
+                block_nl::declared_properties(
+                    &t.binding,
+                    vec![cur, scans[k + 1]],
+                    requires,
+                    delivers,
+                ),
+                Node::Join {
+                    left: cur,
+                    right: scans[k + 1],
+                    step: JoinStep {
+                        method: StepMethod::NestedLoop,
+                        residuals,
+                        layout: sp.layout.clone(),
+                        next_layout: sp.next_layout.clone(),
+                        alpha,
+                        sink,
+                    },
+                },
+            ),
+        };
+    }
+    push(
+        &mut ops,
+        &mut nodes,
+        output::declared_properties(cur, &p.select),
+        Node::Output {
+            input: cur,
+            layout: final_layout,
+            select: p.select.clone(),
+            threshold: p.threshold,
+        },
+    );
+    (ops, nodes)
+}
+
+fn lower_anti(p: &AntiPlan) -> (Vec<PhysOp>, Vec<Node>) {
+    let z = Degree::ZERO;
+    let mut ops: Vec<PhysOp> = Vec::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let scan_o = push(
+        &mut ops,
+        &mut nodes,
+        filter_scan::declared_properties(&p.outer.binding, z),
+        Node::Scan { table: p.outer.clone(), min_degree: z },
+    );
+    let scan_i = push(
+        &mut ops,
+        &mut nodes,
+        filter_scan::declared_properties(&p.inner.binding, z),
+        Node::Scan { table: p.inner.clone(), min_degree: z },
+    );
+    let anti = match &p.window {
+        Some((ocol, icol)) => {
+            let sort_o = push(
+                &mut ops,
+                &mut nodes,
+                sort::declared_properties_base(scan_o, &p.outer.binding, ocol, z),
+                Node::Sort {
+                    input: scan_o,
+                    layout: Layout::of_table(&p.outer),
+                    col: ocol.clone(),
+                    alpha: z,
+                },
+            );
+            let sort_i = push(
+                &mut ops,
+                &mut nodes,
+                sort::declared_properties_base(scan_i, &p.inner.binding, icol, z),
+                Node::Sort {
+                    input: scan_i,
+                    layout: Layout::of_table(&p.inner),
+                    col: icol.clone(),
+                    alpha: z,
+                },
+            );
+            push(
+                &mut ops,
+                &mut nodes,
+                anti::declared_properties_merge(p, ocol, icol, sort_o, sort_i),
+                Node::Anti { outer: sort_o, inner: sort_i, plan: p.clone(), merge: true },
+            )
+        }
+        None => push(
+            &mut ops,
+            &mut nodes,
+            anti::declared_properties_scan(p, scan_o, scan_i),
+            Node::Anti { outer: scan_o, inner: scan_i, plan: p.clone(), merge: false },
+        ),
+    };
+    push(
+        &mut ops,
+        &mut nodes,
+        output::declared_properties(anti, &p.select),
+        Node::Output {
+            input: anti,
+            layout: Layout::of_table(&p.outer),
+            select: p.select.clone(),
+            threshold: p.threshold,
+        },
+    );
+    (ops, nodes)
+}
+
+fn lower_agg(p: &AggPlan) -> (Vec<PhysOp>, Vec<Node>) {
+    let z = Degree::ZERO;
+    let mut ops: Vec<PhysOp> = Vec::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let scan_o = push(
+        &mut ops,
+        &mut nodes,
+        filter_scan::declared_properties(&p.outer.binding, z),
+        Node::Scan { table: p.outer.clone(), min_degree: z },
+    );
+    let scan_i = push(
+        &mut ops,
+        &mut nodes,
+        filter_scan::declared_properties(&p.inner.binding, z),
+        Node::Scan { table: p.inner.clone(), min_degree: z },
+    );
+    let agg_node = match &p.corr {
+        None => push(
+            &mut ops,
+            &mut nodes,
+            agg::declared_properties_const(p, scan_o, scan_i),
+            Node::Agg { outer: scan_o, inner: scan_i, plan: p.clone(), mode: AggMode::Const },
+        ),
+        Some((ucol, op2, vcol)) => {
+            let sort_o = push(
+                &mut ops,
+                &mut nodes,
+                sort::declared_properties_base(scan_o, &p.outer.binding, ucol, z),
+                Node::Sort {
+                    input: scan_o,
+                    layout: Layout::of_table(&p.outer),
+                    col: ucol.clone(),
+                    alpha: z,
+                },
+            );
+            if *op2 == CmpOp::Eq {
+                // Pipelined merge grouping: both sides sorted, windowed.
+                let sort_i = push(
+                    &mut ops,
+                    &mut nodes,
+                    sort::declared_properties_base(scan_i, &p.inner.binding, vcol, z),
+                    Node::Sort {
+                        input: scan_i,
+                        layout: Layout::of_table(&p.inner),
+                        col: vcol.clone(),
+                        alpha: z,
+                    },
+                );
+                push(
+                    &mut ops,
+                    &mut nodes,
+                    agg::declared_properties_merge(p, ucol, vcol, sort_o, sort_i),
+                    Node::Agg {
+                        outer: sort_o,
+                        inner: sort_i,
+                        plan: p.clone(),
+                        mode: AggMode::Merge,
+                    },
+                )
+            } else {
+                // Non-equality correlation: outer sorted (distinct-U groups
+                // adjacent for the cache), inner set scanned per group.
+                push(
+                    &mut ops,
+                    &mut nodes,
+                    agg::declared_properties_scan(p, ucol, sort_o, scan_i),
+                    Node::Agg {
+                        outer: sort_o,
+                        inner: scan_i,
+                        plan: p.clone(),
+                        mode: AggMode::Scan,
+                    },
+                )
+            }
+        }
+    };
+    push(
+        &mut ops,
+        &mut nodes,
+        output::declared_properties(agg_node, &p.select),
+        Node::Output {
+            input: agg_node,
+            layout: Layout::of_table(&p.outer),
+            select: p.select.clone(),
+            threshold: p.threshold,
+        },
+    );
+    (ops, nodes)
+}
+
+impl Lowered {
+    /// Builds the runnable operator per node, each carrying the declaration
+    /// the verifier checked for its outline position.
+    pub(crate) fn instantiate(&self) -> Vec<Box<dyn PhysicalOp>> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let decl = self.outline.ops[i].clone();
+                let b: Box<dyn PhysicalOp> = match n.clone() {
+                    Node::Scan { table, min_degree } => {
+                        Box::new(filter_scan::FilterScanOp::new(i, decl, table, min_degree))
+                    }
+                    Node::Select { input, table, preds, select } => {
+                        Box::new(flat::SelectOp::new(i, decl, input, table, preds, select))
+                    }
+                    Node::Sort { input, layout, col, alpha } => {
+                        Box::new(sort::SortOp::new(i, decl, input, layout, col, alpha))
+                    }
+                    Node::Join { left, right, step } => {
+                        Box::new(flat::JoinStepOp::new(i, decl, left, right, step))
+                    }
+                    Node::Anti { outer, inner, plan, merge } => {
+                        Box::new(anti::AntiOp::new(i, decl, outer, inner, plan, merge))
+                    }
+                    Node::Agg { outer, inner, plan, mode } => {
+                        Box::new(agg::AggOp::new(i, decl, outer, inner, plan, mode))
+                    }
+                    Node::Output { input, layout, select, threshold } => {
+                        Box::new(output::OutputOp::new(i, decl, input, layout, select, threshold))
+                    }
+                };
+                b
+            })
+            .collect()
+    }
+
+    /// `EXPLAIN` annotation for a join node: what its output feeds.
+    pub(crate) fn sink_note(&self, i: usize) -> Option<&'static str> {
+        match &self.nodes[i] {
+            Node::Join { step, .. } => Some(match &step.sink {
+                SinkMode::Answer { .. } => "-> answer",
+                SinkMode::Rows => "-> pipelined",
+                SinkMode::Materialize => "-> temp table",
+            }),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Physical execution of unnested plans: a streaming operator pipeline.
+//!
+//! A logical [`UnnestPlan`] is first *lowered* (`lower`) into an explicit
+//! tree of physical operators — one module per operator:
+//!
+//! * `filter_scan` — folds a table's local predicates (the paper's p_i)
+//!   into tuple degrees, materializing only the positive survivors ("only
+//!   those tuples that satisfy p_i positively should be sorted");
+//! * `sort` — external merge sort by the interval order `⪯` of
+//!   Definition 3.1 on the join attribute;
+//! * `merge_join` — streams the sorted outer relation; for each outer
+//!   tuple `r` presents exactly `Rng(r)`, the contiguous inner range whose
+//!   support intervals can intersect `r`'s;
+//! * `partitioned` — the sampling-based partitioned join alternative;
+//! * `block_nl` — the block nested-loop fallback;
+//! * `anti` — the grouped `MIN(D)` accumulation of Queries JX′/JALL′;
+//! * `agg` — the pipelined T1/T2/JA′ (COUNT′) aggregate evaluation;
+//! * `flat` — the flat join step gluing driver/residual predicate
+//!   evaluation to a method and an output sink;
+//! * `output` — fuzzy-OR dedup plus the final `WITH D > z` threshold.
+//!
+//! Each operator implements the `op::PhysicalOp` contract
+//! (`open`/`next_batch`/`close`) and *carries* the physical-property
+//! declaration ([`crate::verify::PhysOp`]) the static verifier checks — the
+//! tree that is verified is the tree that runs. Chain joins pipeline
+//! left-deep: intermediate join output feeds the next sort boundary as
+//! in-memory rows (`op::Slot::Rows`) instead of a temp-table round trip,
+//! so simulated writes drop while answers and counters stay bit-identical
+//! (see DESIGN.md §11).
+//!
+//! Every operator registers itself in the executor's [`QueryMetrics`]
+//! registry and accumulates exact counters there (see [`crate::metrics`] for
+//! the determinism contract). The legacy [`ExecStats`] summary is *derived*
+//! from the registry by [`Executor::stats`].
+
+use crate::error::Result;
+use crate::metrics::{OpKind, OperatorMetrics, QueryMetrics};
+use crate::plan::UnnestPlan;
+use fuzzy_core::Degree;
+use fuzzy_rel::{Relation, StoredTable};
+use fuzzy_storage::{BufferPool, IoSnapshot, SimDisk};
+use std::time::Instant;
+
+pub(crate) mod agg;
+pub(crate) mod anti;
+pub(crate) mod bind;
+pub(crate) mod block_nl;
+pub(crate) mod filter_scan;
+pub(crate) mod flat;
+pub(crate) mod lower;
+pub(crate) mod merge_join;
+pub mod op;
+pub(crate) mod output;
+pub(crate) mod partitioned;
+pub(crate) mod sort;
+pub(crate) mod threshold;
+
+pub use threshold::{flat_pushdown_alpha, pushdown_alpha};
+
+pub(crate) use agg::GroupSet;
+pub(crate) use bind::{BoundCompare, BoundOperand, Layout};
+pub(crate) use output::project;
+
+/// Execution configuration: the buffer and sort memory budgets, in pages.
+/// The paper's experiments use a 2 MB buffer of 8 KB pages (256 frames).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Buffer pool frames available to scans and joins (the paper's M).
+    pub buffer_pages: usize,
+    /// Pages of working memory for the external sort.
+    pub sort_pages: usize,
+    /// Reorder multi-way flat joins to minimize intermediate sizes
+    /// (Section 8's optimizer step). Answers are unaffected.
+    pub reorder_joins: bool,
+    /// Push `WITH D > z` thresholds into flat merge-joins: windows scan the
+    /// z-cut intervals instead of the supports, because `d(x = y) >= z`
+    /// exactly when the z-cuts intersect (the "equality indicator" direction
+    /// of the paper's reference \[42\]). Answers are unaffected.
+    pub threshold_pushdown: bool,
+    /// Which physical algorithm drives flat equi-join steps.
+    pub join_method: JoinMethod,
+    /// Worker threads for external-sort run generation and the flat
+    /// merge-join's per-pair degree computation. `1` (the default) is the
+    /// serial path; any value produces bit-identical answers and identical
+    /// I/O / comparison / pair counters, trading memory for wall time (see
+    /// DESIGN.md, "Parallel execution"). The partitioned join ignores this
+    /// knob and always runs serially (see `partitioned`).
+    pub threads: usize,
+    /// Pipeline intermediate chain-join output into the next merge step's
+    /// sort boundary as in-memory rows instead of materializing a temp
+    /// table. Answers, comparison counts, prune counts, and sort counters
+    /// are unaffected — only the temp-table write and its re-scan disappear
+    /// from the simulated I/O (see DESIGN.md §11). `false` restores the
+    /// materialize-every-step behaviour for A/B measurements.
+    pub pipeline_joins: bool,
+}
+
+/// Physical algorithms for a flat equi-join step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// The paper's extended merge-join (Section 3).
+    #[default]
+    Merge,
+    /// The sampling-based partitioned join (Section 3's \[9\]/\[36\]
+    /// "more research is needed" direction; see `partitioned`).
+    Partitioned,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            buffer_pages: 256,
+            sort_pages: 256,
+            reorder_joins: true,
+            threshold_pushdown: true,
+            join_method: JoinMethod::default(),
+            threads: 1,
+            pipeline_joins: true,
+        }
+    }
+}
+
+/// CPU-side counter summary, derived from the per-operator registry (I/O
+/// counts live on the simulated disk). Kept for experiment harnesses that
+/// need the paper's Table 3 breakdown without walking operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Tuple pairs examined by join windows or nested loops.
+    pub pairs_examined: u64,
+    /// Comparisons performed by external sorting.
+    pub sort_comparisons: u64,
+    /// Initial runs generated across all sorts.
+    pub sort_runs: u64,
+    /// Wall-clock CPU time spent inside external sorts (Table 3's
+    /// sorting-share breakdown).
+    pub sort_cpu: std::time::Duration,
+    /// Physical reads issued by external sorts.
+    pub sort_reads: u64,
+    /// Physical writes issued by external sorts.
+    pub sort_writes: u64,
+    /// Largest merge window (`Rng(r)`) observed, in tuples. Section 3's
+    /// buffer-size assumption is that one outer page plus the pages of the
+    /// largest range fit in memory; this counter makes that checkable.
+    pub max_window: u64,
+}
+
+/// The outcome of evaluating one candidate join pair: its contribution degree
+/// (or `None`), how many value-level comparisons the evaluation cost, and
+/// whether a positive pair was discarded by a pushed-down threshold. Both the
+/// serial and the parallel join paths count from this one structure, which is
+/// what makes their metrics bit-identical.
+pub(crate) struct PairOutcome {
+    pub(crate) degree: Option<Degree>,
+    pub(crate) comparisons: u32,
+    pub(crate) pruned: bool,
+}
+
+/// An open operator in the metrics registry: remembers the I/O level and the
+/// clock at `begin_op` so `end_op` can charge the deltas.
+pub(crate) struct OpGuard {
+    pub(crate) id: usize,
+    io0: IoSnapshot,
+    t0: Instant,
+}
+
+/// The physical executor. Temporary files live on the same simulated disk as
+/// the base tables, so every spill and materialization is charged.
+pub struct Executor {
+    disk: SimDisk,
+    config: ExecConfig,
+    metrics: QueryMetrics,
+    temp_counter: u64,
+    /// Optional column-statistics registry consulted by the join-order
+    /// optimizer.
+    statistics: Option<std::rc::Rc<crate::stats_histogram::StatsRegistry>>,
+}
+
+impl Executor {
+    /// Creates an executor over the given disk.
+    pub fn new(disk: &SimDisk, config: ExecConfig) -> Executor {
+        Executor {
+            disk: disk.clone(),
+            config,
+            metrics: QueryMetrics::default(),
+            temp_counter: 0,
+            statistics: None,
+        }
+    }
+
+    /// Attaches a column-statistics registry (histogram-based selectivity
+    /// estimates for the join-order optimizer).
+    pub fn with_statistics(
+        mut self,
+        stats: std::rc::Rc<crate::stats_histogram::StatsRegistry>,
+    ) -> Executor {
+        self.statistics = Some(stats);
+        self
+    }
+
+    /// The simulated disk this executor charges its I/O to.
+    pub(crate) fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// The configuration in effect.
+    pub(crate) fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// The per-operator metrics registry of the current/last run.
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.metrics
+    }
+
+    /// Takes ownership of the registry, leaving an empty one behind.
+    pub fn take_metrics(&mut self) -> QueryMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// The legacy counter summary, derived from the registry: pair counts and
+    /// the window maximum aggregate over every operator; sort comparisons,
+    /// runs, I/O, and CPU over the sort operators.
+    pub fn stats(&self) -> ExecStats {
+        let mut s = ExecStats::default();
+        for n in self.metrics.ops() {
+            s.pairs_examined += n.metrics.pairs_examined;
+            s.max_window = s.max_window.max(n.metrics.max_window);
+            if n.kind == OpKind::Sort {
+                s.sort_comparisons += n.metrics.sort_comparisons;
+                s.sort_runs += n.metrics.sort_runs;
+                s.sort_reads += n.metrics.page_reads;
+                s.sort_writes += n.metrics.page_writes;
+                s.sort_cpu += n.wall;
+            }
+        }
+        s
+    }
+
+    /// Clears the registry for a fresh run.
+    pub(crate) fn metrics_reset(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Opens an operator node; close it with [`Executor::end_op`].
+    pub(crate) fn begin_op(&mut self, kind: OpKind, label: String) -> OpGuard {
+        OpGuard { id: self.metrics.begin(kind, label), io0: self.disk.io(), t0: Instant::now() }
+    }
+
+    /// Folds locally accumulated counters into an open operator node.
+    pub(crate) fn absorb_op(&mut self, g: &OpGuard, m: &OperatorMetrics) {
+        self.metrics.op_mut(g.id).absorb(m);
+    }
+
+    /// Closes an operator node, charging its wall time and I/O delta.
+    pub(crate) fn end_op(&mut self, g: OpGuard) {
+        let io = self.disk.io().since(&g.io0);
+        self.metrics.finish(g.id, g.t0.elapsed(), io);
+    }
+
+    /// A buffer pool sized for a join-phase scan.
+    pub(crate) fn pool_for_join(&self) -> BufferPool {
+        self.pool(self.config.buffer_pages)
+    }
+
+    /// A fresh temp table with the same schema/padding as `like`.
+    pub(crate) fn make_temp(&mut self, tag: &str, like: &StoredTable) -> StoredTable {
+        let name = self.temp_name(tag);
+        StoredTable::create_padded(&self.disk, name, like.schema().clone(), like.min_record_bytes())
+    }
+
+    fn pool(&self, frames: usize) -> BufferPool {
+        BufferPool::new(&self.disk, frames.max(1))
+    }
+
+    fn temp_name(&mut self, tag: &str) -> String {
+        self.temp_counter += 1;
+        format!("__tmp_{tag}_{}", self.temp_counter)
+    }
+
+    /// Runs an unnested plan, resetting the metrics registry: lowers the
+    /// plan to its physical operator tree and drives the tree to completion
+    /// (see `op::drive`).
+    ///
+    /// In debug builds the plan is statically verified first (see
+    /// [`crate::verify`]): a violation means a transformer or optimizer bug,
+    /// and refusing to run beats silently corrupting degrees. The verifier
+    /// checks the very operator declarations the instantiated tree carries.
+    pub fn run(&mut self, plan: &UnnestPlan) -> Result<Relation> {
+        self.metrics_reset();
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::verify::verify_plan(plan, &self.config, self.statistics.as_deref());
+            if let Some(v) = report.violations.first() {
+                return Err(crate::error::EngineError::Verify(format!(
+                    "{v} ({} violation(s) in plan {})",
+                    report.violations.len(),
+                    report.plan_label
+                )));
+            }
+        }
+        let lowered = lower::lower(plan, &self.config, self.statistics.as_deref());
+        let mut ops = lowered.instantiate();
+        let mut state = op::TreeState::new(ops.len());
+        op::drive(self, &mut ops, &mut state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanCol, PlanCompare, PlanOperand, PlanTable};
+    use fuzzy_core::{CmpOp, Trapezoid, Value};
+    use fuzzy_rel::{AttrType, Attribute, Schema, StoredTable, Tuple};
+    use fuzzy_sql::AggFunc;
+
+    fn table(disk: &SimDisk, name: &str, xs: &[(f64, f64)]) -> PlanTable {
+        // Tuples (ID, X) where X is a rectangle [lo, hi].
+        let t = StoredTable::create(
+            disk,
+            name,
+            Schema::new(vec![
+                Attribute::new("ID", AttrType::Number),
+                Attribute::new("X", AttrType::Number),
+            ]),
+        );
+        t.load(xs.iter().enumerate().map(|(i, (lo, hi))| {
+            Tuple::full(vec![
+                Value::number(i as f64),
+                Value::fuzzy(Trapezoid::rectangular(*lo, *hi).unwrap()),
+            ])
+        }))
+        .unwrap();
+        PlanTable { binding: name.to_string(), table: t, local_preds: Vec::new() }
+    }
+
+    #[test]
+    fn layout_resolution_and_projection() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[]);
+        let s = table(&disk, "S", &[]);
+        let mut layout = Layout::of_table(&r);
+        layout.push(&s);
+        assert_eq!(layout.resolve(&PlanCol { binding: "R".into(), attr: 1 }).unwrap(), 1);
+        assert_eq!(layout.resolve(&PlanCol { binding: "S".into(), attr: 0 }).unwrap(), 2);
+        assert!(layout.resolve(&PlanCol { binding: "T".into(), attr: 0 }).is_err());
+        assert!(layout.contains("R"));
+        assert!(!layout.contains("T"));
+        let schema = layout.to_schema();
+        assert_eq!(schema.len(), 4);
+        assert_eq!(schema.attr(3).name, "S.X");
+        let (proj, idx) = layout.projection(&[PlanCol { binding: "S".into(), attr: 1 }]).unwrap();
+        assert_eq!(proj.attr(0).name, "X");
+        assert_eq!(idx, vec![3]);
+    }
+
+    #[test]
+    fn bound_compare_eval_pair_spans_both_sides() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[]);
+        let s = table(&disk, "S", &[]);
+        let mut layout = Layout::of_table(&r);
+        layout.push(&s);
+        let p = layout
+            .bind(&PlanCompare::new(
+                PlanOperand::Col(PlanCol { binding: "R".into(), attr: 0 }),
+                CmpOp::Lt,
+                PlanOperand::Col(PlanCol { binding: "S".into(), attr: 0 }),
+            ))
+            .unwrap();
+        let left = vec![Value::number(1.0), Value::number(0.0)];
+        let right = vec![Value::number(2.0), Value::number(0.0)];
+        assert_eq!(p.eval_pair(&left, &right), Degree::ONE);
+        let concat: Vec<Value> = left.iter().chain(right.iter()).cloned().collect();
+        assert_eq!(p.eval(&concat), Degree::ONE);
+    }
+
+    #[test]
+    fn merge_window_covers_exactly_rng() {
+        // Outer values: [0,1], [10,11], [20,21]. Inner: [0,2], [9,12],
+        // [15,30], [40,41]. Expected windows: r0 -> {[0,2]};
+        // r1 -> {[9,12]}; r2 -> {[15,30]} ([40,41] never enters).
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0), (20.0, 21.0)]);
+        let s = table(&disk, "S", &[(0.0, 2.0), (9.0, 12.0), (15.0, 30.0), (40.0, 41.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r =
+            ex.sort_table(&r.table, 1, Degree::ZERO, "sort R by #1".to_string()).unwrap();
+        let sorted_s =
+            ex.sort_table(&s.table, 1, Degree::ZERO, "sort S by #1".to_string()).unwrap();
+        let mut windows: Vec<(f64, Vec<f64>)> = Vec::new();
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |r, rng, _| {
+                let key = r.values[1].interval().unwrap().0;
+                let ws = rng.iter().map(|s| s.values[1].interval().unwrap().0).collect();
+                windows.push((key, ws));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(windows, vec![(0.0, vec![0.0]), (10.0, vec![9.0]), (20.0, vec![15.0]),]);
+        assert_eq!(ex.stats().pairs_examined, 3);
+    }
+
+    #[test]
+    fn merge_window_keeps_wide_inner_tuples_across_outers() {
+        // A very wide inner tuple stays in every window it can touch.
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (50.0, 51.0), (99.0, 100.0)]);
+        let s = table(&disk, "S", &[(0.0, 100.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r =
+            ex.sort_table(&r.table, 1, Degree::ZERO, "sort R by #1".to_string()).unwrap();
+        let sorted_s =
+            ex.sort_table(&s.table, 1, Degree::ZERO, "sort S by #1".to_string()).unwrap();
+        let mut count = 0;
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |_, rng, _| {
+                count += rng.len();
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(count, 3, "the wide tuple belongs to all three ranges");
+    }
+
+    #[test]
+    fn merge_window_includes_dangling_tuples_across_nested_intervals() {
+        // Section 3's caveat: a tuple retained in the window for a wide
+        // earlier outer interval may not join a later, narrower one — it is
+        // examined (dangling) because the window can only drop tuples that
+        // precede *every* remaining outer range. Outer: [10,100] then
+        // [12,20]; inner: [50,60] joins the first but dangles for the
+        // second (its window-retention check e(s)=60 >= b(r)=12 holds while
+        // the intervals do not intersect).
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(10.0, 100.0), (12.0, 20.0)]);
+        let s = table(&disk, "S", &[(50.0, 60.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted_r =
+            ex.sort_table(&r.table, 1, Degree::ZERO, "sort R by #1".to_string()).unwrap();
+        let sorted_s =
+            ex.sort_table(&s.table, 1, Degree::ZERO, "sort S by #1".to_string()).unwrap();
+        let mut seen = Vec::new();
+        ex.merge_window(
+            &sorted_r,
+            1,
+            &sorted_s,
+            1,
+            Degree::ZERO,
+            OpKind::Join,
+            "test".to_string(),
+            |r, rng, _| {
+                for s in rng {
+                    seen.push(r.values[1].compare(CmpOp::Eq, &s.values[1]).is_positive());
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![true, false], "join for [10,100], dangling for [12,20]");
+    }
+
+    #[test]
+    fn operators_register_in_the_metrics_registry() {
+        let disk = SimDisk::with_default_page_size();
+        let r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        let sorted = ex.sort_table(&r.table, 1, Degree::ZERO, "sort R by #1".to_string()).unwrap();
+        let _ = sorted;
+        let ops = ex.metrics().ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::Sort);
+        assert_eq!(ops[0].label, "sort R by #1");
+        assert_eq!(ops[0].metrics.tuples_in, 2);
+        assert_eq!(ex.stats().sort_runs, ops[0].metrics.sort_runs);
+    }
+
+    #[test]
+    fn group_set_dedups_by_identity_with_max_degree() {
+        let mut g = GroupSet::default();
+        g.add(Value::number(5.0), Degree::new(0.3).unwrap());
+        g.add(Value::number(5.0), Degree::new(0.8).unwrap());
+        g.add(Value::number(7.0), Degree::new(0.5).unwrap());
+        g.add(Value::Null, Degree::ONE); // NULLs are ignored
+        g.add(Value::number(9.0), Degree::ZERO); // non-members are ignored
+        let (count, d) = g.aggregate(AggFunc::Count, crate::plan::AggDegree::One).unwrap().unwrap();
+        assert_eq!(count, Value::number(2.0));
+        assert_eq!(d, Degree::ONE);
+        let (sum, _) = g.aggregate(AggFunc::Sum, crate::plan::AggDegree::One).unwrap().unwrap();
+        assert_eq!(sum, Value::number(12.0));
+        // Mean-membership degree: (0.8 + 0.5) / 2.
+        let (_, dm) =
+            g.aggregate(AggFunc::Sum, crate::plan::AggDegree::MeanMembership).unwrap().unwrap();
+        assert!((dm.value() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_set_aggregates() {
+        let g = GroupSet::default();
+        assert!(g.aggregate(AggFunc::Sum, crate::plan::AggDegree::One).unwrap().is_none());
+        let (count, _) = g.aggregate(AggFunc::Count, crate::plan::AggDegree::One).unwrap().unwrap();
+        assert_eq!(count, Value::number(0.0));
+    }
+
+    #[test]
+    fn filter_scan_passthrough_and_reduction() {
+        let disk = SimDisk::with_default_page_size();
+        let mut r = table(&disk, "R", &[(0.0, 1.0), (10.0, 11.0)]);
+        let mut ex = Executor::new(&disk, ExecConfig::default());
+        // No predicates: the very same file is reused.
+        let same = ex.filter_scan(&r, Degree::ZERO).unwrap();
+        assert_eq!(same.num_pages(), r.table.num_pages());
+        // With a predicate, only survivors are materialized.
+        r.local_preds.push(PlanCompare::new(
+            PlanOperand::Col(PlanCol { binding: "R".into(), attr: 0 }),
+            CmpOp::Ge,
+            PlanOperand::Const(Value::number(1.0)),
+        ));
+        let reduced = ex.filter_scan(&r, Degree::ZERO).unwrap();
+        assert_eq!(reduced.num_tuples(), 1);
+    }
+}

@@ -21,19 +21,42 @@
 //! the extended merge-join, partitioning replaces the external sort's passes
 //! with one partition write+read per relation plus small in-memory sorts —
 //! the trade the band-join literature studies.
+//!
+//! **Serial-only**: unlike the merge path, this operator ignores
+//! `ExecConfig::threads` — sampling, partitioning, and the per-partition
+//! window scans all run on the calling thread, so its counters and I/O are
+//! trivially identical at every thread count (pinned by the
+//! `partitioned_join_ignores_thread_count` integration test). Parallelizing
+//! it would need per-partition worker isolation with deterministic
+//! partition-temp allocation; see DESIGN.md §7.
 
 use crate::error::Result;
 use crate::exec::Executor;
 use crate::metrics::{OpKind, OperatorMetrics};
+use crate::verify::{PhysOp, Prop};
 use fuzzy_core::{interval_order, Degree};
 use fuzzy_rel::{StoredTable, Tuple};
+
+/// Declaration of a flat partitioned-join step: consumes the unsorted bound
+/// side and the scan directly (no sort boundary — partitioning replaces it);
+/// the binding/degree requirements come from the lowering pass.
+pub(crate) fn declared_properties(
+    t_binding: &str,
+    inputs: Vec<usize>,
+    requires: Vec<(usize, Prop)>,
+    delivers: Vec<Prop>,
+) -> PhysOp {
+    PhysOp::declare(format!("partitioned-join +{t_binding}"), inputs, requires, delivers)
+}
 
 impl Executor {
     /// Streams the joining pairs of `outer ⋈ inner` on the given attributes
     /// via partitioning. `visit` receives every pair whose α-cut intervals
     /// intersect (possibly more than once, across shared partitions), plus
     /// the operator's counter set. The whole join — sampling, partitioning,
-    /// and the per-partition window scans — registers as one operator node.
+    /// and the per-partition window scans — registers as one operator node
+    /// and runs serially regardless of `ExecConfig::threads` (see the
+    /// module docs).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn partitioned_join<F>(
         &mut self,

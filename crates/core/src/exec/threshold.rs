@@ -1,0 +1,45 @@
+//! Threshold push-down bounds and the final `WITH D > z` filter.
+//!
+//! The push-down derivation is shared between the executor's lowering pass
+//! and the static verifier, which is what keeps the two in lockstep: the
+//! bound the operators prune at is, by construction, the bound the verifier
+//! checks (`V-THRESH-WIDEN` / `V-THRESH-SCOPE`).
+
+use crate::exec::ExecConfig;
+use crate::plan::UnnestPlan;
+use fuzzy_core::Degree;
+use fuzzy_rel::Relation;
+use fuzzy_sql::Threshold;
+
+/// The degree bound a pushed-down `WITH D > z` threshold lets a *flat* plan
+/// prune at: z when push-down is enabled and a threshold exists, else 0.
+/// Sound for flat plans only — every conjunct of their final min must reach
+/// the threshold, so pairs below it can never contribute an answer row.
+pub fn flat_pushdown_alpha(config: &ExecConfig, threshold: Option<Threshold>) -> Degree {
+    match (config.threshold_pushdown, threshold) {
+        (true, Some(t)) => Degree::clamped(t.z),
+        _ => Degree::ZERO,
+    }
+}
+
+/// The pruning bound the executor uses for a plan. The anti and aggregate
+/// forms accumulate MIN over *negated* degrees — a low-degree pair still
+/// lowers its group's degree — so they never prune (`Degree::ZERO`); the
+/// static verifier independently rejects any plan that claims otherwise
+/// (`V-THRESH-SCOPE`).
+pub fn pushdown_alpha(config: &ExecConfig, plan: &UnnestPlan) -> Degree {
+    match plan {
+        UnnestPlan::Flat(p) => flat_pushdown_alpha(config, p.threshold),
+        UnnestPlan::Anti(_) | UnnestPlan::Agg(_) => Degree::ZERO,
+    }
+}
+
+/// Applies the final `WITH` threshold filter to an answer relation. This is
+/// the *exact* filter at the plan root; a pushed-down bound inside the
+/// pipeline only ever pre-prunes rows this filter would reject anyway.
+pub(crate) fn apply_threshold(rel: Relation, threshold: Option<Threshold>) -> Relation {
+    match threshold {
+        Some(t) => rel.with_threshold(Degree::clamped(t.z), t.strict),
+        None => rel,
+    }
+}

@@ -46,21 +46,22 @@ pub fn render_explain(
     let class = fuzzy_sql::classify(q);
     let mut out = format!("query class: {class:?} (depth {})\n", q.depth());
     match build_plan(q, catalog) {
-        Ok(mut plan) => {
+        Ok(plan) => {
             out.push_str(&format!("strategy: unnest:{}\n", plan.label()));
-            // Mirror the executor's join reordering so the rendered tree is
-            // the tree that runs.
-            if config.reorder_joins {
-                if let UnnestPlan::Flat(p) = &mut plan {
-                    if p.tables.len() > 2 && crate::optimizer::reorder_joins_with(p, statistics) {
-                        let order: Vec<&str> =
-                            p.tables.iter().map(|t| t.binding.as_str()).collect();
-                        out.push_str(&format!("join order: {}\n", order.join(" -> ")));
-                    }
+            // Lower through the same pass the executor runs, so the rendered
+            // tree, join order, and operator list are the ones that run.
+            let lowered = crate::exec::lower::lower(&plan, config, statistics);
+            if let (UnnestPlan::Flat(orig), UnnestPlan::Flat(eff)) = (&plan, &lowered.plan) {
+                let orig_order: Vec<&str> =
+                    orig.tables.iter().map(|t| t.binding.as_str()).collect();
+                let eff_order: Vec<&str> = eff.tables.iter().map(|t| t.binding.as_str()).collect();
+                if orig_order != eff_order {
+                    out.push_str(&format!("join order: {}\n", eff_order.join(" -> ")));
                 }
             }
-            out.push_str(&plan.explain());
-            out.push_str(&render_estimates(&plan, config));
+            out.push_str(&lowered.plan.explain());
+            out.push_str(&render_operators(&lowered));
+            out.push_str(&render_estimates(&lowered.plan, config));
         }
         Err(EngineError::Unsupported(msg)) => {
             out.push_str("strategy: naive fallback\n");
@@ -79,6 +80,23 @@ pub fn render_explain(
         Err(e) => return Err(e),
     }
     Ok(out)
+}
+
+/// Renders the lowered physical-operator tree: one line per operator in
+/// execution order, with each join step annotated by where its output goes
+/// (`-> answer` streamed into the result, `-> pipelined` kept in memory for
+/// the next sort boundary, `-> temp table` materialized to the simulated
+/// disk). A pipelined chain shows zero `-> temp table` lines.
+fn render_operators(lowered: &crate::exec::lower::Lowered) -> String {
+    let mut out = String::from("operators:\n");
+    for (i, op) in lowered.outline.ops.iter().enumerate() {
+        out.push_str(&format!("  #{i} {}", op.name));
+        if let Some(note) = lowered.sink_note(i) {
+            out.push_str(&format!(" {note}"));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// Closed-form cost estimates for a plan: the external-sort work on each

@@ -40,7 +40,6 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod explain;
-pub mod join_partitioned;
 pub mod metrics;
 pub mod naive;
 pub mod nested_loop;

@@ -54,7 +54,7 @@
 //! | `R-T8.1-CHAIN` | the chain linkage is not adjacent (Theorem 8.1) |
 //! | `R-S7-EXISTS` | the EXISTS flattening is not a two-relation join |
 
-use crate::exec::{ExecConfig, JoinMethod};
+use crate::exec::ExecConfig;
 use crate::plan::{
     AggPlan, AntiKind, AntiPlan, FlatPlan, PlanCol, PlanCompare, RewriteRule, UnnestPlan,
 };
@@ -338,8 +338,8 @@ pub fn verify_plan(
     config: &ExecConfig,
     stats: Option<&StatsRegistry>,
 ) -> VerifyReport {
-    let plan = effective_plan(plan, config, stats);
-    let alpha = crate::exec::pushdown_alpha(config, &plan);
+    let crate::exec::lower::Lowered { plan, alpha, outline, .. } =
+        crate::exec::lower::lower(plan, config, stats);
     let mut violations = Vec::new();
     let mut checks = check_rewrite(&plan, &mut violations);
     checks += 1;
@@ -357,7 +357,6 @@ pub fn verify_plan(
             delivered: format!("α = {:.2}", alpha.value()),
         });
     }
-    let outline = outline_for(&plan, config, alpha);
     let (outline_checks, mut outline_violations) = outline.check();
     checks += outline_checks;
     violations.append(&mut outline_violations);
@@ -368,24 +367,6 @@ pub fn verify_plan(
         outline,
         checks,
         violations,
-    }
-}
-
-/// The plan as the executor will actually run it: multi-way flat joins are
-/// reordered exactly as `run_flat` does (same optimizer entry point, same
-/// statistics), so the verifier sees every reorder the optimizer emits.
-pub fn effective_plan(
-    plan: &UnnestPlan,
-    config: &ExecConfig,
-    stats: Option<&StatsRegistry>,
-) -> UnnestPlan {
-    match plan {
-        UnnestPlan::Flat(p) if config.reorder_joins && p.tables.len() > 2 => {
-            let mut reordered = p.clone();
-            crate::optimizer::reorder_joins_with(&mut reordered, stats);
-            UnnestPlan::Flat(reordered)
-        }
-        other => other.clone(),
     }
 }
 
@@ -729,343 +710,21 @@ fn render_cols(cols: &[PlanCol]) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Outline construction (mirrors the executor's physical decisions)
+// Outline access
 // ---------------------------------------------------------------------------
 
-/// Builds the physical outline the executor will run for this plan under
-/// this configuration — reorders applied, merge drivers picked by the same
-/// rule, sorts inserted where `run_flat_ordered`/`run_anti`/`run_agg` insert
-/// them. This is the verifier's model of the executor; its fidelity is
-/// pinned by the `EXPLAIN VERIFY` golden tests.
+/// The physical outline the executor will run for this plan under this
+/// configuration. Since the operator-pipeline refactor this is no longer a
+/// mirror: the lowering pass (`crate::exec::lower`) builds the operator
+/// tree once, each operator carries its own [`PhysOp`] declaration, and this
+/// function simply returns those declarations — the tree that is verified is
+/// the tree that runs. Pinned by the `EXPLAIN VERIFY` golden tests.
 pub fn build_outline(
     plan: &UnnestPlan,
     config: &ExecConfig,
     stats: Option<&StatsRegistry>,
 ) -> Outline {
-    let plan = effective_plan(plan, config, stats);
-    let alpha = crate::exec::pushdown_alpha(config, &plan);
-    outline_for(&plan, config, alpha)
-}
-
-fn outline_for(plan: &UnnestPlan, config: &ExecConfig, alpha: Degree) -> Outline {
-    match plan {
-        UnnestPlan::Flat(p) => outline_flat(p, config, alpha),
-        UnnestPlan::Anti(p) => outline_anti(p),
-        UnnestPlan::Agg(p) => outline_agg(p),
-    }
-}
-
-fn push(ops: &mut Vec<PhysOp>, op: PhysOp) -> usize {
-    ops.push(op);
-    ops.len() - 1
-}
-
-/// The output operator: requires every projected binding from the stream,
-/// delivers fuzzy-OR duplicate elimination.
-fn output_op(input: usize, select: &[PlanCol]) -> PhysOp {
-    let mut requires: Vec<(usize, Prop)> = Vec::new();
-    for c in select {
-        let prop = Prop::Binding(c.binding.clone());
-        if !requires.iter().any(|(_, q)| *q == prop) {
-            requires.push((0, prop));
-        }
-    }
-    PhysOp::declare("output", vec![input], requires, vec![Prop::DupMax])
-}
-
-fn outline_flat(p: &FlatPlan, config: &ExecConfig, alpha: Degree) -> Outline {
-    let mut ops: Vec<PhysOp> = Vec::new();
-    let mut scans: Vec<usize> = Vec::new();
-    for t in &p.tables {
-        scans.push(push(
-            &mut ops,
-            PhysOp::declare(
-                format!("scan {}", t.binding),
-                vec![],
-                vec![],
-                vec![Prop::Binding(t.binding.clone()), Prop::MinDegree(alpha)],
-            ),
-        ));
-    }
-    let first = match scans.first().copied() {
-        Some(s) => s,
-        None => return Outline { ops }, // empty FROM: the executor errors out
-    };
-    if p.tables.len() == 1 {
-        let b = p.tables[0].binding.clone();
-        let sel = push(
-            &mut ops,
-            PhysOp::declare(
-                format!("select {b}"),
-                vec![first],
-                vec![(0, Prop::Binding(b.clone())), (0, Prop::MinDegree(alpha))],
-                vec![Prop::Binding(b), Prop::MinDegree(alpha)],
-            ),
-        );
-        push(&mut ops, output_op(sel, &p.select));
-        return Outline { ops };
-    }
-
-    let mut bound: Vec<String> = vec![p.tables[0].binding.clone()];
-    let mut cur = first;
-    let mut remaining: Vec<&PlanCompare> = p.join_preds.iter().collect();
-    for (i, t) in p.tables.iter().enumerate().skip(1) {
-        let last = i == p.tables.len() - 1;
-        let in_bound = |b: &str| bound.iter().any(|x| x == b);
-        let (evaluable, kept): (Vec<&PlanCompare>, Vec<&PlanCompare>) = remaining
-            .into_iter()
-            .partition(|pr| last || pr.bindings().iter().all(|b| in_bound(b) || *b == t.binding));
-        remaining = kept;
-        // The merge driver: the first evaluable *exact* equality between the
-        // bound side and t — same pick as the executor's `driver_pos`.
-        let driver = evaluable.iter().find_map(|pr| {
-            if pr.op != CmpOp::Eq || pr.tolerance.is_some() {
-                return None;
-            }
-            match (pr.lhs.as_col(), pr.rhs.as_col()) {
-                (Some(l), Some(r)) if in_bound(&l.binding) && r.binding == t.binding => {
-                    Some((l.clone(), r.clone()))
-                }
-                (Some(l), Some(r)) if in_bound(&r.binding) && l.binding == t.binding => {
-                    Some((r.clone(), l.clone()))
-                }
-                _ => None,
-            }
-        });
-        // Binding provenance required by this step's predicates.
-        let mut requires: Vec<(usize, Prop)> =
-            vec![(0, Prop::MinDegree(alpha)), (1, Prop::MinDegree(alpha))];
-        for pr in &evaluable {
-            for b in pr.bindings() {
-                let slot = usize::from(b == t.binding);
-                let prop = Prop::Binding(b.to_string());
-                if !requires.iter().any(|(s, q)| *s == slot && *q == prop) {
-                    requires.push((slot, prop));
-                }
-            }
-        }
-        let mut delivers: Vec<Prop> = bound.iter().map(|b| Prop::Binding(b.clone())).collect();
-        delivers.push(Prop::Binding(t.binding.clone()));
-        delivers.push(Prop::MinDegree(alpha));
-        cur = match (driver, config.join_method) {
-            (Some((cur_col, next_col)), JoinMethod::Merge) => {
-                let sort_left = push(
-                    &mut ops,
-                    PhysOp::declare(
-                        format!("sort [{}] by {cur_col}", bound.join("×")),
-                        vec![cur],
-                        vec![
-                            (0, Prop::Binding(cur_col.binding.clone())),
-                            (0, Prop::MinDegree(alpha)),
-                        ],
-                        bound
-                            .iter()
-                            .map(|b| Prop::Binding(b.clone()))
-                            .chain([
-                                Prop::Sorted { col: cur_col.clone(), alpha },
-                                Prop::MinDegree(alpha),
-                            ])
-                            .collect(),
-                    ),
-                );
-                let sort_right = push(
-                    &mut ops,
-                    PhysOp::declare(
-                        format!("sort {} by {next_col}", t.binding),
-                        vec![scans[i]],
-                        vec![
-                            (0, Prop::Binding(next_col.binding.clone())),
-                            (0, Prop::MinDegree(alpha)),
-                        ],
-                        vec![
-                            Prop::Binding(t.binding.clone()),
-                            Prop::Sorted { col: next_col.clone(), alpha },
-                            Prop::MinDegree(alpha),
-                        ],
-                    ),
-                );
-                requires.push((0, Prop::Sorted { col: cur_col, alpha }));
-                requires.push((1, Prop::Sorted { col: next_col, alpha }));
-                push(
-                    &mut ops,
-                    PhysOp::declare(
-                        format!("merge-join +{}", t.binding),
-                        vec![sort_left, sort_right],
-                        requires,
-                        delivers,
-                    ),
-                )
-            }
-            (Some(_), JoinMethod::Partitioned) => push(
-                &mut ops,
-                PhysOp::declare(
-                    format!("partitioned-join +{}", t.binding),
-                    vec![cur, scans[i]],
-                    requires,
-                    delivers,
-                ),
-            ),
-            (None, _) => push(
-                &mut ops,
-                PhysOp::declare(
-                    format!("nested-loop +{}", t.binding),
-                    vec![cur, scans[i]],
-                    requires,
-                    delivers,
-                ),
-            ),
-        };
-        bound.push(t.binding.clone());
-    }
-    push(&mut ops, output_op(cur, &p.select));
-    Outline { ops }
-}
-
-fn outline_anti(p: &AntiPlan) -> Outline {
-    let z = Degree::ZERO;
-    let mut ops: Vec<PhysOp> = Vec::new();
-    let scan_o = push(
-        &mut ops,
-        PhysOp::declare(
-            format!("scan {}", p.outer.binding),
-            vec![],
-            vec![],
-            vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-        ),
-    );
-    let scan_i = push(
-        &mut ops,
-        PhysOp::declare(
-            format!("scan {}", p.inner.binding),
-            vec![],
-            vec![],
-            vec![Prop::Binding(p.inner.binding.clone()), Prop::MinDegree(z)],
-        ),
-    );
-    let anti = match &p.window {
-        Some((ocol, icol)) => {
-            let sort_o = push(&mut ops, sorted_base(scan_o, &p.outer.binding, ocol, z));
-            let sort_i = push(&mut ops, sorted_base(scan_i, &p.inner.binding, icol, z));
-            push(
-                &mut ops,
-                PhysOp::declare(
-                    format!("anti-merge {} x {}", p.outer.binding, p.inner.binding),
-                    vec![sort_o, sort_i],
-                    vec![
-                        (0, Prop::Sorted { col: ocol.clone(), alpha: z }),
-                        (1, Prop::Sorted { col: icol.clone(), alpha: z }),
-                        (0, Prop::Binding(p.outer.binding.clone())),
-                        (1, Prop::Binding(p.inner.binding.clone())),
-                    ],
-                    vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-                ),
-            )
-        }
-        None => push(
-            &mut ops,
-            PhysOp::declare(
-                format!("anti-scan {} x {}", p.outer.binding, p.inner.binding),
-                vec![scan_o, scan_i],
-                vec![
-                    (0, Prop::Binding(p.outer.binding.clone())),
-                    (1, Prop::Binding(p.inner.binding.clone())),
-                ],
-                vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-            ),
-        ),
-    };
-    push(&mut ops, output_op(anti, &p.select));
-    Outline { ops }
-}
-
-fn outline_agg(p: &AggPlan) -> Outline {
-    let z = Degree::ZERO;
-    let mut ops: Vec<PhysOp> = Vec::new();
-    let scan_o = push(
-        &mut ops,
-        PhysOp::declare(
-            format!("scan {}", p.outer.binding),
-            vec![],
-            vec![],
-            vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-        ),
-    );
-    let scan_i = push(
-        &mut ops,
-        PhysOp::declare(
-            format!("scan {}", p.inner.binding),
-            vec![],
-            vec![],
-            vec![Prop::Binding(p.inner.binding.clone()), Prop::MinDegree(z)],
-        ),
-    );
-    let agg = match &p.corr {
-        None => push(
-            &mut ops,
-            PhysOp::declare(
-                format!("agg-const {} x {}", p.outer.binding, p.inner.binding),
-                vec![scan_o, scan_i],
-                vec![
-                    (0, Prop::Binding(p.outer.binding.clone())),
-                    (1, Prop::Binding(p.inner.binding.clone())),
-                ],
-                vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-            ),
-        ),
-        Some((ucol, op2, vcol)) => {
-            let sort_o = push(&mut ops, sorted_base(scan_o, &p.outer.binding, ucol, z));
-            if *op2 == CmpOp::Eq {
-                // Pipelined merge grouping: both sides sorted, windowed.
-                let sort_i = push(&mut ops, sorted_base(scan_i, &p.inner.binding, vcol, z));
-                push(
-                    &mut ops,
-                    PhysOp::declare(
-                        format!("agg-merge {} x {}", p.outer.binding, p.inner.binding),
-                        vec![sort_o, sort_i],
-                        vec![
-                            (0, Prop::Sorted { col: ucol.clone(), alpha: z }),
-                            (1, Prop::Sorted { col: vcol.clone(), alpha: z }),
-                            (0, Prop::Binding(p.outer.binding.clone())),
-                            (1, Prop::Binding(p.inner.binding.clone())),
-                        ],
-                        vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-                    ),
-                )
-            } else {
-                // Non-equality correlation: outer sorted (distinct-U groups
-                // adjacent for the cache), inner set scanned per group.
-                push(
-                    &mut ops,
-                    PhysOp::declare(
-                        format!("agg-scan {} x {}", p.outer.binding, p.inner.binding),
-                        vec![sort_o, scan_i],
-                        vec![
-                            (0, Prop::Sorted { col: ucol.clone(), alpha: z }),
-                            (0, Prop::Binding(p.outer.binding.clone())),
-                            (1, Prop::Binding(p.inner.binding.clone())),
-                        ],
-                        vec![Prop::Binding(p.outer.binding.clone()), Prop::MinDegree(z)],
-                    ),
-                )
-            }
-        }
-    };
-    push(&mut ops, output_op(agg, &p.select));
-    Outline { ops }
-}
-
-/// A sort over one base relation's stream (anti/agg pipelines sort at α = 0).
-fn sorted_base(input: usize, binding: &str, col: &PlanCol, alpha: Degree) -> PhysOp {
-    PhysOp::declare(
-        format!("sort {binding} by {col}"),
-        vec![input],
-        vec![(0, Prop::Binding(col.binding.clone())), (0, Prop::MinDegree(alpha))],
-        vec![
-            Prop::Binding(binding.to_string()),
-            Prop::Sorted { col: col.clone(), alpha },
-            Prop::MinDegree(alpha),
-        ],
-    )
+    crate::exec::lower::lower(plan, config, stats).outline
 }
 
 #[cfg(test)]
@@ -1077,6 +736,11 @@ mod tests {
 
     fn col(b: &str, attr: usize) -> PlanCol {
         PlanCol { binding: b.into(), attr }
+    }
+
+    fn push(ops: &mut Vec<PhysOp>, op: PhysOp) -> usize {
+        ops.push(op);
+        ops.len() - 1
     }
 
     fn cmp(l: PlanCol, op: CmpOp, r: PlanCol) -> PlanCompare {

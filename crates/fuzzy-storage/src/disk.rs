@@ -38,6 +38,12 @@ enum Backing {
 struct DiskInner {
     page_size: usize,
     backing: Mutex<Backing>,
+    /// Reclaimed page ids available for reuse (LIFO). Guarded separately
+    /// from `backing`; the two locks are never held at the same time.
+    free: Mutex<Vec<PageId>>,
+    /// When `Some`, every allocation is recorded here so a caller can later
+    /// reclaim everything it allocated (statement-scoped temporaries).
+    alloc_log: Mutex<Option<Vec<PageId>>>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -78,6 +84,8 @@ impl SimDisk {
             inner: Arc::new(DiskInner {
                 page_size,
                 backing: Mutex::new(Backing::Memory(Vec::new())),
+                free: Mutex::new(Vec::new()),
+                alloc_log: Mutex::new(None),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
             }),
@@ -108,6 +116,8 @@ impl SimDisk {
             inner: Arc::new(DiskInner {
                 page_size,
                 backing: Mutex::new(Backing::File { file, num_pages: len / page_size as u64 }),
+                free: Mutex::new(Vec::new()),
+                alloc_log: Mutex::new(None),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
             }),
@@ -132,24 +142,79 @@ impl SimDisk {
         }
     }
 
-    /// Allocates a zeroed page and returns its id. Allocation itself is not
-    /// charged as an I/O; the subsequent write is.
+    /// Allocates a zeroed page and returns its id, reusing a reclaimed page
+    /// when one is available. Allocation itself is not charged as an I/O;
+    /// the subsequent write is.
     pub fn alloc_page(&self) -> PageId {
         let size = self.inner.page_size;
-        match &mut *self.inner.backing.lock().expect("disk lock") {
-            Backing::Memory(pages) => {
-                let id = pages.len() as PageId;
-                pages.push(vec![0u8; size].into_boxed_slice());
+        let reused = self.inner.free.lock().expect("disk lock").pop();
+        let id = match reused {
+            Some(id) => {
+                // Scrub the recycled page (uncharged, like allocation) so
+                // the zeroed-page contract holds for reuse too.
+                match &mut *self.inner.backing.lock().expect("disk lock") {
+                    Backing::Memory(pages) => {
+                        if let Some(p) = pages.get_mut(id as usize) {
+                            p.fill(0);
+                        }
+                    }
+                    Backing::File { file, .. } => {
+                        let _ = file
+                            .seek(SeekFrom::Start(id * size as u64))
+                            .and_then(|_| file.write_all(&vec![0u8; size]));
+                    }
+                }
                 id
             }
-            Backing::File { file, num_pages } => {
-                let id = *num_pages;
-                *num_pages += 1;
-                // Extend the file eagerly so short reads cannot happen.
-                let _ = file.set_len(*num_pages * size as u64);
-                id
-            }
+            None => match &mut *self.inner.backing.lock().expect("disk lock") {
+                Backing::Memory(pages) => {
+                    let id = pages.len() as PageId;
+                    pages.push(vec![0u8; size].into_boxed_slice());
+                    id
+                }
+                Backing::File { file, num_pages } => {
+                    let id = *num_pages;
+                    *num_pages += 1;
+                    // Extend the file eagerly so short reads cannot happen.
+                    let _ = file.set_len(*num_pages * size as u64);
+                    id
+                }
+            },
+        };
+        if let Some(log) = self.inner.alloc_log.lock().expect("disk lock").as_mut() {
+            log.push(id);
         }
+        id
+    }
+
+    /// Returns a page to the free list for reuse by a later
+    /// [`SimDisk::alloc_page`]. Reading or writing a freed page before it is
+    /// re-allocated is a logic error (the simulator does not police it, just
+    /// as a real disk would not).
+    pub fn free_page(&self, id: PageId) {
+        self.inner.free.lock().expect("disk lock").push(id);
+    }
+
+    /// Number of allocated pages not currently on the free list — the disk
+    /// footprint that is actually owned by live files.
+    pub fn live_pages(&self) -> u64 {
+        let total = self.num_pages();
+        let free = self.inner.free.lock().expect("disk lock").len() as u64;
+        total - free
+    }
+
+    /// Starts recording every page id allocated from now on. Statement
+    /// executors use this to reclaim all temporary pages at statement end.
+    /// Logging is not reentrant: a second `begin_alloc_log` discards the
+    /// first log.
+    pub fn begin_alloc_log(&self) {
+        *self.inner.alloc_log.lock().expect("disk lock") = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the ids allocated since
+    /// [`SimDisk::begin_alloc_log`] (empty if logging was never started).
+    pub fn take_alloc_log(&self) -> Vec<PageId> {
+        self.inner.alloc_log.lock().expect("disk lock").take().unwrap_or_default()
     }
 
     /// Reads a page into a fresh buffer, charging one physical read.
@@ -278,6 +343,39 @@ mod tests {
     #[should_panic(expected = "page size")]
     fn tiny_pages_rejected() {
         SimDisk::new(16);
+    }
+
+    #[test]
+    fn freed_pages_are_reused_and_zeroed() {
+        let disk = SimDisk::new(128);
+        let p0 = disk.alloc_page();
+        disk.write_page(p0, &[9u8; 128]).unwrap();
+        disk.free_page(p0);
+        assert_eq!(disk.live_pages(), 0);
+        assert_eq!(disk.num_pages(), 1, "freeing does not shrink the backing");
+        let p1 = disk.alloc_page();
+        assert_eq!(p1, p0, "the freed page is recycled");
+        assert_eq!(disk.live_pages(), 1);
+        assert!(disk.read_page(p1).unwrap().iter().all(|b| *b == 0), "recycled page is scrubbed");
+    }
+
+    #[test]
+    fn alloc_log_captures_statement_temporaries() {
+        let disk = SimDisk::new(128);
+        let base = disk.alloc_page();
+        disk.begin_alloc_log();
+        let t0 = disk.alloc_page();
+        let t1 = disk.alloc_page();
+        let log = disk.take_alloc_log();
+        assert_eq!(log, vec![t0, t1], "only pages allocated under the log are recorded");
+        assert!(!log.contains(&base));
+        for id in log {
+            disk.free_page(id);
+        }
+        assert_eq!(disk.live_pages(), 1);
+        // With no active log, allocations are not recorded.
+        let _ = disk.alloc_page();
+        assert!(disk.take_alloc_log().is_empty());
     }
 }
 

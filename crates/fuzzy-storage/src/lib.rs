@@ -46,4 +46,4 @@ pub use disk::{IoSnapshot, PageId, SimDisk, DEFAULT_PAGE_SIZE};
 pub use error::{Result, StorageError};
 pub use file::{HeapFile, RecordId};
 pub use page::Page;
-pub use sort::{external_sort, external_sort_parallel, SortStats};
+pub use sort::{external_sort, external_sort_parallel, external_sort_records, SortStats};

@@ -43,9 +43,44 @@ pub fn external_sort<F>(
     disk: &SimDisk,
     input: &HeapFile,
     memory_pages: usize,
+    cmp: F,
+) -> Result<(HeapFile, SortStats)>
+where
+    F: FnMut(&[u8], &[u8]) -> Ordering,
+{
+    let pool = BufferPool::new(disk, 1); // sequential scan needs one frame
+    sort_stream(disk, pool.scan(input), memory_pages, cmp)
+}
+
+/// Sorts a stream of already-decoded records with the same run-generation
+/// and merge machinery as [`external_sort`], without requiring the input to
+/// exist as a heap file first. This is the pipelined executor's sort
+/// boundary: join output feeds straight into run generation, so the only
+/// spill is the sort's own (batch cuts, run contents, comparison counts, and
+/// run-file I/O are exactly what [`external_sort`] would have produced had
+/// the records been materialized and re-scanned — minus that materialization
+/// and re-scan).
+pub fn external_sort_records<I, F>(
+    disk: &SimDisk,
+    records: I,
+    memory_pages: usize,
+    cmp: F,
+) -> Result<(HeapFile, SortStats)>
+where
+    I: IntoIterator<Item = Vec<u8>>,
+    F: FnMut(&[u8], &[u8]) -> Ordering,
+{
+    sort_stream(disk, records.into_iter().map(Ok), memory_pages, cmp)
+}
+
+fn sort_stream<I, F>(
+    disk: &SimDisk,
+    records: I,
+    memory_pages: usize,
     mut cmp: F,
 ) -> Result<(HeapFile, SortStats)>
 where
+    I: Iterator<Item = Result<Vec<u8>>>,
     F: FnMut(&[u8], &[u8]) -> Ordering,
 {
     let memory_pages = memory_pages.max(2);
@@ -53,7 +88,6 @@ where
     let mut comparisons: u64 = 0;
 
     // --- Run generation ----------------------------------------------------
-    let pool = BufferPool::new(disk, 1); // sequential scan needs one frame
     let mut runs: Vec<HeapFile> = Vec::new();
     let mut batch: Vec<Vec<u8>> = Vec::new();
     let mut batch_bytes = 0usize;
@@ -67,7 +101,7 @@ where
         batch.clear();
         Ok(run)
     };
-    for rec in pool.scan(input) {
+    for rec in records {
         let rec = rec?;
         batch_bytes += rec.len();
         batch.push(rec);
@@ -389,6 +423,31 @@ mod tests {
         let single = load_numbers(&disk, &[9, 4]);
         let (sorted, _) = external_sort_parallel(&disk, &single, 4, 8, by_key).unwrap();
         assert_eq!(read_all(&disk, &sorted), vec![4, 9]);
+    }
+
+    #[test]
+    fn record_fed_sort_matches_table_fed_sort_minus_the_scan() {
+        // Feeding records straight into run generation must produce the same
+        // sorted output, the same stats, and the same I/O minus exactly the
+        // input materialization (writes) and re-scan (reads).
+        let nums: Vec<u32> = (0..1200).map(|i| (i * 4099) % 977).collect();
+        let table_disk = SimDisk::new(128);
+        let f = load_numbers(&table_disk, &nums);
+        let input_pages = f.num_pages();
+        table_disk.reset_io();
+        let (table_sorted, table_stats) = external_sort(&table_disk, &f, 3, by_key).unwrap();
+        let table_io = table_disk.io();
+
+        let rec_disk = SimDisk::new(128);
+        rec_disk.reset_io();
+        let records: Vec<Vec<u8>> = nums.iter().map(|n| n.to_le_bytes().to_vec()).collect();
+        let (rec_sorted, rec_stats) = external_sort_records(&rec_disk, records, 3, by_key).unwrap();
+        let rec_io = rec_disk.io();
+
+        assert_eq!(rec_stats, table_stats, "same batches, same runs, same comparisons");
+        assert_eq!(read_all(&rec_disk, &rec_sorted), read_all(&table_disk, &table_sorted));
+        assert_eq!(rec_io.reads, table_io.reads - input_pages, "saves the input re-scan");
+        assert_eq!(rec_io.writes, table_io.writes, "spill writes are identical");
     }
 
     #[test]

@@ -240,7 +240,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible size arguments for [`vec`].
+    /// Admissible size arguments for [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -39,6 +39,9 @@ echo "==> static plan verifier suite (corpus + injected failures + goldens)"
 cargo test -q --test verify_plans
 cargo test -q --test verify_golden
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> unsafe hygiene (every crate must forbid unsafe_code)"
 for f in src/lib.rs crates/*/src/lib.rs; do
   if ! grep -q '^#!\[forbid(unsafe_code)\]' "$f"; then
@@ -50,13 +53,29 @@ done
 echo "==> panic hygiene (no unwrap/expect in non-test core engine code)"
 # Non-test = everything before the first #[cfg(test)] block of each file.
 # Allowed: the documented invariant expects listed in the allowlist.
-panics=$(for f in crates/core/src/*.rs; do
+panics=$(for f in crates/core/src/*.rs crates/core/src/exec/*.rs; do
   awk '/^#\[cfg\(test\)\]/{exit} {print FILENAME":"NR": "$0}' "$f"
 done | grep -E '\.unwrap\(\)|\.expect\(' | grep -vFf scripts/unwrap_expect_allowlist.txt || true)
 if [[ -n "$panics" ]]; then
   echo "error: unlisted unwrap()/expect() in non-test engine code — return an" >&2
   echo "EngineError or add the documented invariant to scripts/unwrap_expect_allowlist.txt:" >&2
   echo "$panics" >&2
+  exit 1
+fi
+
+echo "==> operator declarations (the verifier checks the tree that runs)"
+# Every exec/ operator module that opens a metered operator (begin_op, i.e.
+# constructs an OpGuard) must also carry its physical-property declaration;
+# mod.rs is the executor shell that *defines* begin_op.
+undeclared=$(for f in crates/core/src/exec/*.rs; do
+  [[ "$f" == */mod.rs ]] && continue
+  if grep -q 'begin_op(' "$f" && ! grep -q 'declared_properties' "$f"; then
+    echo "$f"
+  fi
+done)
+if [[ -n "$undeclared" ]]; then
+  echo "error: operator module(s) construct an OpGuard without a declared_properties impl:" >&2
+  echo "$undeclared" >&2
   exit 1
 fi
 

@@ -227,3 +227,88 @@ fn explain_analyze_covers_every_query_class() {
         }
     }
 }
+
+/// Deterministic chain fixture matching the pinned-counter baseline: R has
+/// 8·scale (ID, X) tuples, S 6·scale, T 4·scale, X cycling over three join
+/// values.
+fn chain_db(scale: usize) -> (Catalog, SimDisk) {
+    use fuzzy_db::core::Value;
+    use fuzzy_db::rel::{AttrType, Schema, StoredTable, Tuple};
+    let disk = SimDisk::with_default_page_size();
+    let mut catalog = Catalog::new();
+    for (name, base) in [("R", 8usize), ("S", 6), ("T", 4)] {
+        let schema = Schema::of(&[("ID", AttrType::Number), ("X", AttrType::Number)]);
+        let t = StoredTable::create(&disk, name, schema);
+        let mut w = t.file().bulk_writer();
+        for i in 0..base * scale {
+            let tu =
+                Tuple::full(vec![Value::number(i as f64), Value::number((i % 3) as f64 * 10.0)]);
+            w.append(&tu.encode(0)).unwrap();
+        }
+        w.finish().unwrap();
+        catalog.register(t);
+    }
+    disk.reset_io();
+    (catalog, disk)
+}
+
+/// Pinned regression for the streaming pipeline: on the scale-8 Chain(3)
+/// fixture the materialize-every-step executor performed 13 simulated page
+/// writes; the pipelined operator tree must stay strictly below that pin
+/// while reproducing its exact CPU-side counters — bit-identical at every
+/// thread count.
+#[test]
+fn pipelined_chain_beats_materialized_write_pin() {
+    use fuzzy_db::engine::ExecConfig;
+    let sql = "SELECT R.ID FROM R WHERE R.X IN \
+               (SELECT S.X FROM S WHERE S.X IN (SELECT T.X FROM T))";
+    let (catalog, disk) = chain_db(8);
+    for threads in [1usize, 2, 4, 8] {
+        let engine =
+            Engine::new(&catalog, &disk).with_config(ExecConfig { threads, ..Default::default() });
+        let out = engine.run_sql(sql, Strategy::Unnest).unwrap();
+        let t = out.metrics.totals();
+        let label = format!("chain3 scale 8, {threads} thread(s)");
+        assert!(
+            out.measurement.io.writes < 13,
+            "{label}: {} writes, not below the materialized pin of 13",
+            out.measurement.io.writes
+        );
+        assert_eq!(out.answer.len(), 64, "{label}: answer cardinality");
+        assert_eq!(t.tuples_out, 12304, "{label}: tuples_out");
+        assert_eq!(t.fuzzy_comparisons, 11440, "{label}: fuzzy_comparisons");
+        assert_eq!(t.pairs_pruned, 0, "{label}: pairs_pruned");
+    }
+}
+
+/// The partitioned join deliberately ignores `ExecConfig::threads` and always
+/// runs serially (see DESIGN.md): sampling splitters, partition boundaries,
+/// and per-partition pair order feed the exact-counter contract, so the knob
+/// must not change a single registry entry.
+#[test]
+fn partitioned_join_ignores_thread_count() {
+    use fuzzy_db::engine::{ExecConfig, JoinMethod};
+    let (catalog, disk) = workload_db(300, 17);
+    let sql = "SELECT R.ID, S.ID FROM R, S WHERE R.X = S.X";
+    let run = |threads: usize| {
+        let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+            join_method: JoinMethod::Partitioned,
+            threads,
+            ..Default::default()
+        });
+        let out = engine.run_sql(sql, Strategy::Unnest).unwrap();
+        (out.answer.canonicalized(), out.metrics.deterministic(), out.measurement.io)
+    };
+    let (answer1, metrics1, io1) = run(1);
+    assert!(!answer1.is_empty());
+    for threads in [2usize, 4, 8] {
+        let (answer, metrics, io) = run(threads);
+        assert_eq!(answer, answer1, "{threads} threads: answer diverged");
+        assert_eq!(metrics, metrics1, "{threads} threads: metrics registry diverged");
+        assert_eq!(
+            (io.reads, io.writes),
+            (io1.reads, io1.writes),
+            "{threads} threads: I/O diverged"
+        );
+    }
+}
