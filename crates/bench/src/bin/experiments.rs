@@ -4,13 +4,19 @@
 //! cargo run -p bench --release --bin experiments -- [--scale S] [--table1]
 //!     [--table2] [--table3] [--table4] [--fig1] [--fig2] [--fig3]
 //!     [--ablation-dangling] [--page-io-ms MS] [--nl-pair-budget N]
-//!     [--threads T] [--parallel] [--metrics-json FILE] [--all]
+//!     [--threads T] [--parallel] [--sessions] [--metrics-json FILE] [--all]
 //! ```
 //!
 //! `--threads T` sets the worker-thread count every merge-join leg runs
 //! with (default 1, the serial engine). `--parallel` sweeps the scale-8
 //! type J leg over 1/2/4/8 threads and writes the machine-readable
 //! `BENCH_parallel.json` next to the working directory.
+//!
+//! `--sessions` sweeps concurrent *sessions* instead of worker threads:
+//! 1/2/4/8 sessions share one database handle and replay a three-query
+//! statement list against the shared plan cache. Answers are checked
+//! bit-for-bit against a serial replay and the sweep reports wall time,
+//! plan-cache hits/misses, and catalog lock wait (`BENCH_sessions.json`).
 //!
 //! `--metrics-json FILE` runs the canonical type J leg once under the
 //! scaled configuration and dumps the per-operator metrics registry (the
@@ -138,6 +144,9 @@ fn main() {
     if wants(&args, "parallel") {
         parallel_sweep(&args);
     }
+    if wants(&args, "sessions") {
+        sessions_sweep(&args);
+    }
     if let Some(path) = args.metrics_json.clone() {
         metrics_json_dump(&args, &path);
     }
@@ -160,7 +169,7 @@ fn metrics_json_dump(args: &Args, path: &str) {
         ..Default::default()
     };
     let (catalog, disk) = build_workload(spec);
-    let engine = Engine::new(&catalog, &disk).with_config(scaled_config(args));
+    let engine = Engine::over(catalog.clone().into(), &disk).with_config(scaled_config(args));
     let out = engine.run_sql(bench::TYPE_J_SQL, Strategy::Unnest).expect("metrics leg");
     match std::fs::write(path, out.metrics.to_json()) {
         Ok(()) => {
@@ -243,6 +252,137 @@ fn parallel_sweep(args: &Args) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session sweep: concurrent sessions sharing one database handle
+// ---------------------------------------------------------------------------
+
+/// The statement list every session replays: the canonical type J leg plus
+/// a type N and a flat join over the same tables, so the shared plan cache
+/// holds several distinct entries and hits interleave with misses.
+const SESSION_CORPUS: &[&str] = &[
+    bench::TYPE_J_SQL,
+    "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)",
+    "SELECT R.ID FROM R, S WHERE R.X = S.X WITH D > 0.3",
+];
+
+fn sessions_sweep(args: &Args) {
+    use fuzzy_db::Database;
+    use std::sync::{Arc, Barrier};
+    use std::time::Instant;
+
+    const ROUNDS: usize = 2;
+    println!("## Sessions — statement list across concurrent sessions sharing");
+    println!("   one database handle (answers are bit-identical to a serial");
+    println!("   replay; every session shares the catalog and plan cache)\n");
+    let n = (8 * 4000 / args.scale.max(1)).max(64);
+    let spec = WorkloadSpec {
+        n_outer: n,
+        n_inner: n,
+        tuple_bytes: 128,
+        fanout: 7,
+        seed: 8000 + args.scale as u64,
+        ..Default::default()
+    };
+    // One worker thread per engine: the parallelism under test is sessions.
+    let config = ExecConfig { threads: 1, ..scaled_config(args) };
+
+    // Serial reference answers, computed once on a private handle.
+    let (catalog, disk) = build_workload(spec);
+    let mut reference_db = Database::from_catalog(catalog, disk);
+    reference_db.set_exec_config(config);
+    let reference: Vec<_> = SESSION_CORPUS
+        .iter()
+        .map(|sql| reference_db.query(*sql).collect().expect("reference leg").canonicalized())
+        .collect();
+
+    println!(
+        "{:>9} {:>12} {:>11} {:>8} {:>8} {:>8} {:>15} {:>6}",
+        "sessions", "wall (s)", "statements", "hits", "misses", "entries", "lock wait (ms)", "peak"
+    );
+    let mut legs = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        // A fresh handle per sweep point so the cache and counters start cold.
+        let (catalog, disk) = build_workload(spec);
+        let mut db = Database::from_catalog(catalog, disk);
+        db.set_exec_config(config);
+        let barrier = Arc::new(Barrier::new(sessions));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for s in 0..sessions {
+                let session = db.session();
+                let barrier = Arc::clone(&barrier);
+                let reference = &reference;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..ROUNDS {
+                        for i in 0..SESSION_CORPUS.len() {
+                            // Offset schedules per session and round so cache
+                            // hits and misses interleave across sessions.
+                            let idx = (i + s + round) % SESSION_CORPUS.len();
+                            let ans =
+                                session.query(SESSION_CORPUS[idx]).collect().expect("session leg");
+                            assert!(
+                                ans.canonicalized() == reference[idx],
+                                "session answer diverged from the serial replay \
+                                 (sessions = {sessions}, statement {idx})"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed();
+        let stats = db.plan_cache_stats();
+        let counters = db.serving_counters();
+        let statements = counters.statements();
+        let lock_wait = counters.lock_wait();
+        let peak = counters.peak_in_flight();
+        println!(
+            "{:>9} {:>12.3} {:>11} {:>8} {:>8} {:>8} {:>15.3} {:>6}",
+            sessions,
+            wall.as_secs_f64(),
+            statements,
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            lock_wait.as_secs_f64() * 1e3,
+            peak
+        );
+        legs.push((sessions, wall, statements, stats, lock_wait, peak));
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"statements\": {}, \"rounds\": {ROUNDS}, \"n_outer\": {n}, \
+         \"n_inner\": {n}, \"tuple_bytes\": 128, \"fanout\": 7, \"scale\": {}, \"seed\": {}}},\n",
+        SESSION_CORPUS.len(),
+        args.scale,
+        spec.seed
+    ));
+    json.push_str("  \"legs\": [\n");
+    for (i, (sessions, wall, statements, stats, lock_wait, peak)) in legs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"wall_secs\": {:.6}, \"statements\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_invalidations\": {}, \
+             \"cache_entries\": {}, \"lock_wait_secs\": {:.6}, \"peak_in_flight\": {}}}{}\n",
+            sessions,
+            wall.as_secs_f64(),
+            statements,
+            stats.hits,
+            stats.misses,
+            stats.invalidations,
+            stats.entries,
+            lock_wait.as_secs_f64(),
+            peak,
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_sessions.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_sessions.json\n"),
+        Err(e) => println!("\ncould not write BENCH_sessions.json: {e}\n"),
+    }
+}
+
 /// A calibration of nested-loop per-pair CPU cost, reused for projections.
 struct NlCalibration {
     per_pair: Duration,
@@ -319,7 +459,7 @@ fn fig2() {
     println!("## Fig. 2 / Example 4.1 — the running example\n");
     let disk = SimDisk::with_default_page_size();
     let catalog = fuzzy_workload::paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let t = engine
         .run_sql("SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'", Strategy::Unnest)
         .unwrap();
@@ -615,7 +755,7 @@ fn ablation_join_order(args: &Args) {
     println!("{:<12} {:>8} {:>8} {:>12} {:>8}", "reorder", "reads", "writes", "pairs", "rows");
     for reorder in [false, true] {
         disk.reset_io();
-        let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+        let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
             buffer_pages: 64,
             sort_pages: 64,
             reorder_joins: reorder,
@@ -660,7 +800,7 @@ fn ablation_threshold(args: &Args) {
     for z in ["0", "0.5", "0.9"] {
         let sql = format!("SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > {z}");
         for pushdown in [false, true] {
-            let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+            let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
                 threshold_pushdown: pushdown,
                 threads: args.threads,
                 ..Default::default()
@@ -708,7 +848,7 @@ fn ablation_join_method(args: &Args) {
             [("merge", JoinMethod::Merge), ("partitioned", JoinMethod::Partitioned)]
         {
             disk.reset_io();
-            let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+            let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
                 buffer_pages: 32,
                 sort_pages: 32,
                 join_method: method,
@@ -755,7 +895,7 @@ fn ablation_materialized(args: &Args, model: &CostModel) {
         ("unnest (merge)", Strategy::Unnest),
     ] {
         disk.reset_io();
-        let engine = Engine::new(&catalog, &disk).with_config(scaled_config(args));
+        let engine = Engine::over(catalog.clone().into(), &disk).with_config(scaled_config(args));
         let out = engine.run_sql(sql, strategy).unwrap();
         println!(
             "{:<18} {:>9} {:>9} {:>12} {:>12.2}",

@@ -95,7 +95,7 @@ pub fn run_leg_sql(
     sql: &str,
 ) -> Leg {
     disk.reset_io();
-    let engine = Engine::new(catalog, disk).with_config(config);
+    let engine = Engine::over(catalog.clone().into(), disk).with_config(config);
     let out = engine.run_sql(sql, strategy).expect("experiment query");
     Leg {
         io: out.measurement.io,

@@ -1,12 +1,22 @@
-//! The query engine: strategy dispatch and measurement.
+//! The query engine: strategy dispatch, plan caching, and measurement.
+//!
+//! [`Engine`] is an **owned handle**: it holds an [`Arc`] snapshot of the
+//! catalog plus a cloneable disk handle, so it is `Send + Sync` and can be
+//! constructed per statement without borrowing the database for its
+//! lifetime. A serving layer (see the `fuzzy-db` facade) hands every session
+//! an engine over the current catalog snapshot; DDL/DML swaps in a new
+//! snapshot and bumps the catalog version, which invalidates cached plans.
 
 use crate::error::{EngineError, Result};
 use crate::exec::{ExecConfig, ExecStats, Executor};
-use crate::metrics::{OpKind, QueryMetrics};
+use crate::metrics::{OpKind, QueryMetrics, ServingCounters, ServingInfo};
 use crate::naive::NaiveEvaluator;
+use crate::plan_cache::{PlanCache, Planned};
 use crate::unnest::build_plan;
+use fuzzy_core::Degree;
 use fuzzy_rel::{Catalog, Relation};
 use fuzzy_storage::{BufferPool, CostModel, IoSnapshot, Measurement, SimDisk};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How a query is evaluated.
@@ -41,6 +51,8 @@ pub struct QueryOutcome {
     /// The per-operator metrics registry of the run (tuples in/out, fuzzy
     /// comparisons, buffer and I/O counters, wall time per operator).
     pub metrics: QueryMetrics,
+    /// Plan-cache and concurrency annotations (see [`ServingInfo`]).
+    pub serving: ServingInfo,
     /// A short description of how the query was evaluated.
     pub plan_label: String,
 }
@@ -52,33 +64,75 @@ impl QueryOutcome {
     }
 }
 
-/// The query engine over one catalog and one simulated disk.
-pub struct Engine<'a> {
-    catalog: &'a Catalog,
+/// The query engine over one catalog snapshot and one simulated disk. Owned
+/// and `Send + Sync`: cloning the [`Arc`]ed catalog in is cheap, and nothing
+/// borrows the database while a query runs.
+pub struct Engine {
+    catalog: Arc<Catalog>,
     disk: SimDisk,
     config: ExecConfig,
-    statistics: Option<std::rc::Rc<crate::stats_histogram::StatsRegistry>>,
+    statistics: Option<Arc<crate::stats_histogram::StatsRegistry>>,
+    plan_cache: Option<Arc<PlanCache>>,
+    serving: Option<Arc<ServingCounters>>,
+    lock_wait: std::time::Duration,
 }
 
-impl<'a> Engine<'a> {
-    /// Creates an engine. The disk must be the one the catalog's tables live
-    /// on (temporaries are created there so their I/O is charged).
-    pub fn new(catalog: &'a Catalog, disk: &SimDisk) -> Engine<'a> {
-        Engine { catalog, disk: disk.clone(), config: ExecConfig::default(), statistics: None }
+impl Engine {
+    /// Creates an engine over an owned catalog snapshot. The disk must be
+    /// the one the catalog's tables live on (temporaries are created there
+    /// so their I/O is charged).
+    pub fn over(catalog: Arc<Catalog>, disk: &SimDisk) -> Engine {
+        Engine {
+            catalog,
+            disk: disk.clone(),
+            config: ExecConfig::default(),
+            statistics: None,
+            plan_cache: None,
+            serving: None,
+            lock_wait: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Creates an engine from a borrowed catalog by cloning it into an
+    /// owned snapshot. Shim for pre-serving code paths; new code should take
+    /// an engine from `Database::engine()`/`Session::engine()` or call
+    /// [`Engine::over`] with a shared snapshot.
+    #[deprecated(note = "use Database::engine()/Session::engine() or Engine::over")]
+    pub fn new(catalog: &Catalog, disk: &SimDisk) -> Engine {
+        Engine::over(Arc::new(catalog.clone()), disk)
     }
 
     /// Attaches a shared statistics registry; histograms are built lazily
     /// (one scan per column on first use) and reused across queries.
-    pub fn with_statistics(
-        mut self,
-        stats: std::rc::Rc<crate::stats_histogram::StatsRegistry>,
-    ) -> Engine<'a> {
+    pub fn with_statistics(mut self, stats: Arc<crate::stats_histogram::StatsRegistry>) -> Engine {
         self.statistics = Some(stats);
         self
     }
 
+    /// Attaches a shared plan cache: `Strategy::Unnest` statements look up
+    /// their verified plan by normalized SQL + catalog version before
+    /// planning from scratch, and record what they built on a miss.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Engine {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Attaches the database-wide serving counters so outcomes can snapshot
+    /// the in-flight statement count.
+    pub fn with_serving_counters(mut self, counters: Arc<ServingCounters>) -> Engine {
+        self.serving = Some(counters);
+        self
+    }
+
+    /// Charges catalog-lock wait time (measured by the session layer while
+    /// acquiring its catalog snapshot) to this statement's serving report.
+    pub fn with_lock_wait(mut self, wait: std::time::Duration) -> Engine {
+        self.lock_wait = wait;
+        self
+    }
+
     /// Overrides the execution configuration (buffer and sort budgets).
-    pub fn with_config(mut self, config: ExecConfig) -> Engine<'a> {
+    pub fn with_config(mut self, config: ExecConfig) -> Engine {
         self.config = config;
         self
     }
@@ -86,7 +140,7 @@ impl<'a> Engine<'a> {
     /// Sets the worker-thread count for external sorts and flat merge-joins
     /// (see [`ExecConfig::threads`]). Any value returns bit-identical answers
     /// and identical cost counters; `1` is the serial path.
-    pub fn with_threads(mut self, threads: usize) -> Engine<'a> {
+    pub fn with_threads(mut self, threads: usize) -> Engine {
         self.config.threads = threads.max(1);
         self
     }
@@ -94,6 +148,11 @@ impl<'a> Engine<'a> {
     /// The configuration in effect.
     pub fn config(&self) -> ExecConfig {
         self.config
+    }
+
+    /// The catalog snapshot this engine plans against.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
     }
 
     /// Parses and runs a Fuzzy SQL query with the given strategy.
@@ -108,7 +167,10 @@ impl<'a> Engine<'a> {
     /// runs, partition scratch, materialized intermediates; base tables are
     /// loaded outside statement execution — so all of them are returned to
     /// the disk's free list at statement end (on the error path too).
-    /// Repeated statements therefore cannot grow the simulated disk.
+    /// Repeated statements therefore cannot grow the simulated disk. When
+    /// statements from concurrent sessions overlap, the disk's scoped log
+    /// defers reclamation to the last statement to finish, so one session
+    /// never frees a temporary another is still reading.
     pub fn run(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
         self.disk.begin_alloc_log();
         let result = self.run_query(q, strategy);
@@ -118,46 +180,189 @@ impl<'a> Engine<'a> {
         result
     }
 
-    fn run_query(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
-        let io_before = self.disk.io();
-        let start = Instant::now();
-        let (answer, exec_stats, metrics, plan_label) = match strategy {
-            Strategy::Naive => {
-                let (answer, metrics) = self.run_naive_metered(q)?;
-                (answer, ExecStats::default(), metrics, "naive".to_string())
-            }
-            Strategy::Unnest => match build_plan(q, self.catalog) {
-                Ok(plan) => {
-                    let mut ex = Executor::new(&self.disk, self.config);
-                    if let Some(stats) = &self.statistics {
-                        ex = ex.with_statistics(stats.clone());
-                    }
-                    let answer = ex.run(&plan)?;
-                    (answer, ex.stats(), ex.take_metrics(), format!("unnest:{}", plan.label()))
-                }
-                Err(EngineError::Unsupported(_)) => {
-                    let (answer, metrics) = self.run_naive_metered(q)?;
-                    (answer, ExecStats::default(), metrics, "naive-fallback".to_string())
-                }
-                Err(e) => return Err(e),
-            },
-            Strategy::NestedLoop => {
-                let plan = build_plan(q, self.catalog)?;
-                let mut ex = Executor::new(&self.disk, self.config);
-                let answer = ex.run_baseline(&plan)?;
-                (answer, ex.stats(), ex.take_metrics(), format!("nested-loop:{}", plan.label()))
-            }
-            Strategy::MaterializedNestedLoop => {
-                let plan = build_plan(q, self.catalog)?;
-                let mut ex = Executor::new(&self.disk, self.config);
-                let answer = ex.run_baseline_materialized(&plan)?;
-                (answer, ex.stats(), ex.take_metrics(), format!("materialized-nl:{}", plan.label()))
+    /// Consults the plan cache (when attached) for the unnested plan of `q`,
+    /// building, verifying, and inserting on a miss. Returns the planned
+    /// form plus the cache annotation for the outcome's [`ServingInfo`].
+    pub fn plan_for(&self, q: &fuzzy_sql::Query) -> Result<(Planned, ServingInfo)> {
+        let mut info = ServingInfo { lock_wait: self.lock_wait, ..ServingInfo::default() };
+        let cache = match &self.plan_cache {
+            Some(c) => c,
+            None => {
+                // No cache: plan from scratch; the executor's debug gate
+                // still verifies before running.
+                let planned = match build_plan(q, &self.catalog) {
+                    Ok(plan) => Planned::Plan(Arc::new(plan)),
+                    Err(EngineError::Unsupported(_)) => Planned::NaiveFallback,
+                    Err(e) => return Err(e),
+                };
+                return Ok((planned, info));
             }
         };
-        // ORDER BY / LIMIT presentation steps for the physical strategies
-        // (the naive evaluator applies them internally; re-applying the same
-        // ordering and limit is idempotent).
+        let key = PlanCache::key(q, &self.config);
+        let version = self.catalog.version();
+        if let Some((planned, _verified)) = cache.lookup(&key, version) {
+            info.cache_hit = Some(true);
+            info.cache = cache.stats();
+            return Ok((planned, info));
+        }
+        let planned = match build_plan(q, &self.catalog) {
+            Ok(plan) => {
+                // Verify once at build time (in every build profile): cache
+                // hits then run the plan with zero re-verification.
+                info.plan_verifications = 1;
+                let report =
+                    crate::verify::verify_plan(&plan, &self.config, self.statistics.as_deref());
+                if let Some(v) = report.violations.first() {
+                    return Err(EngineError::Verify(format!(
+                        "{v} ({} violation(s) in plan {})",
+                        report.violations.len(),
+                        report.plan_label
+                    )));
+                }
+                Planned::Plan(Arc::new(plan))
+            }
+            Err(EngineError::Unsupported(_)) => Planned::NaiveFallback,
+            Err(e) => return Err(e),
+        };
+        cache.insert(key, version, planned.clone(), true);
+        info.cache_hit = Some(false);
+        info.cache = cache.stats();
+        Ok((planned, info))
+    }
+
+    /// Runs an already-planned statement (the `PreparedQuery` path): the
+    /// pinned plan executes with no re-planning and no re-verification.
+    pub fn run_planned(
+        &self,
+        q: &fuzzy_sql::Query,
+        planned: &Planned,
+        mut info: ServingInfo,
+    ) -> Result<QueryOutcome> {
+        self.disk.begin_alloc_log();
+        info.lock_wait = self.lock_wait;
+        let result = self.run_unnest_planned(q, planned, info);
+        for page in self.disk.take_alloc_log() {
+            self.disk.free_page(page);
+        }
+        result
+    }
+
+    fn run_query(&self, q: &fuzzy_sql::Query, strategy: Strategy) -> Result<QueryOutcome> {
+        match strategy {
+            Strategy::Unnest => {
+                let (planned, info) = self.plan_for(q)?;
+                self.run_unnest_planned(q, &planned, info)
+            }
+            Strategy::Naive => {
+                let io_before = self.disk.io();
+                let start = Instant::now();
+                let (answer, metrics) = self.run_naive_metered(q)?;
+                self.finish_outcome(
+                    q,
+                    answer,
+                    ExecStats::default(),
+                    metrics,
+                    "naive".to_string(),
+                    ServingInfo::default(),
+                    start,
+                    io_before,
+                )
+            }
+            Strategy::NestedLoop => {
+                let io_before = self.disk.io();
+                let start = Instant::now();
+                let plan = build_plan(q, &self.catalog)?;
+                let mut ex = Executor::new(&self.disk, self.config);
+                let answer = ex.run_baseline(&plan)?;
+                let (stats, metrics) = (ex.stats(), ex.take_metrics());
+                self.finish_outcome(
+                    q,
+                    answer,
+                    stats,
+                    metrics,
+                    format!("nested-loop:{}", plan.label()),
+                    ServingInfo::default(),
+                    start,
+                    io_before,
+                )
+            }
+            Strategy::MaterializedNestedLoop => {
+                let io_before = self.disk.io();
+                let start = Instant::now();
+                let plan = build_plan(q, &self.catalog)?;
+                let mut ex = Executor::new(&self.disk, self.config);
+                let answer = ex.run_baseline_materialized(&plan)?;
+                let (stats, metrics) = (ex.stats(), ex.take_metrics());
+                self.finish_outcome(
+                    q,
+                    answer,
+                    stats,
+                    metrics,
+                    format!("materialized-nl:{}", plan.label()),
+                    ServingInfo::default(),
+                    start,
+                    io_before,
+                )
+            }
+        }
+    }
+
+    /// Executes the planned form of an unnest-strategy statement.
+    fn run_unnest_planned(
+        &self,
+        q: &fuzzy_sql::Query,
+        planned: &Planned,
+        info: ServingInfo,
+    ) -> Result<QueryOutcome> {
+        let io_before = self.disk.io();
+        let start = Instant::now();
+        let (answer, exec_stats, metrics, plan_label) = match planned {
+            Planned::Plan(plan) => {
+                let mut ex = Executor::new(&self.disk, self.config);
+                if let Some(stats) = &self.statistics {
+                    ex = ex.with_statistics(stats.clone());
+                }
+                // A cached or freshly cached plan was verified when built;
+                // an uncached plan keeps the executor's own debug gate.
+                let answer = if info.cache_hit.is_some() {
+                    ex.run_preverified(plan)?
+                } else {
+                    ex.run(plan)?
+                };
+                (answer, ex.stats(), ex.take_metrics(), format!("unnest:{}", plan.label()))
+            }
+            Planned::NaiveFallback => {
+                let (answer, metrics) = self.run_naive_metered(q)?;
+                (answer, ExecStats::default(), metrics, "naive-fallback".to_string())
+            }
+        };
+        self.finish_outcome(q, answer, exec_stats, metrics, plan_label, info, start, io_before)
+    }
+
+    /// Applies the presentation steps (session default threshold, ORDER BY,
+    /// LIMIT) and assembles the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_outcome(
+        &self,
+        q: &fuzzy_sql::Query,
+        answer: Relation,
+        exec_stats: ExecStats,
+        metrics: QueryMetrics,
+        plan_label: String,
+        mut serving: ServingInfo,
+        start: Instant,
+        io_before: IoSnapshot,
+    ) -> Result<QueryOutcome> {
         let mut answer = answer;
+        // The session-level `WITH D > z` default applies only when the
+        // statement carries no explicit threshold, and before presentation
+        // (ORDER BY / LIMIT see the thresholded answer). It is a pure filter
+        // — degrees are unchanged — so every strategy agrees.
+        if q.with_threshold.is_none() {
+            if let Some(z) = self.config.default_threshold {
+                answer = answer.with_threshold(Degree::clamped(z), true);
+            }
+        }
         if let Some(order) = &q.order_by {
             answer = match &order.key {
                 fuzzy_sql::OrderKey::Degree => answer.ordered_by_degree(order.descending),
@@ -174,11 +379,16 @@ impl<'a> Engine<'a> {
         }
         let cpu = start.elapsed();
         let io = self.disk.io().since(&io_before);
+        serving.lock_wait = self.lock_wait;
+        if let Some(counters) = &self.serving {
+            serving.sessions_in_flight = counters.in_flight();
+        }
         Ok(QueryOutcome {
             answer,
             measurement: Measurement { io, cpu },
             exec_stats,
             metrics,
+            serving,
             plan_label,
         })
     }
@@ -193,7 +403,7 @@ impl<'a> Engine<'a> {
 
     /// [`Engine::explain`] over an already-parsed query.
     pub fn explain_query(&self, q: &fuzzy_sql::Query) -> Result<String> {
-        crate::explain::render_explain(q, self.catalog, &self.config, self.statistics.as_deref())
+        crate::explain::render_explain(q, &self.catalog, &self.config, self.statistics.as_deref())
     }
 
     /// Runs the query under [`Strategy::Unnest`] and renders the plan
@@ -222,7 +432,7 @@ impl<'a> Engine<'a> {
 
     /// [`Engine::explain_verify`] over an already-parsed query.
     pub fn explain_verify_query(&self, q: &fuzzy_sql::Query) -> Result<String> {
-        crate::explain::render_verify(q, self.catalog, &self.config, self.statistics.as_deref())
+        crate::explain::render_verify(q, &self.catalog, &self.config, self.statistics.as_deref())
     }
 
     /// Statically verifies the plan the engine would run for this query
@@ -239,7 +449,7 @@ impl<'a> Engine<'a> {
         &self,
         q: &fuzzy_sql::Query,
     ) -> Result<Option<crate::verify::VerifyReport>> {
-        match build_plan(q, self.catalog) {
+        match build_plan(q, &self.catalog) {
             Ok(plan) => Ok(Some(crate::verify::verify_plan(
                 &plan,
                 &self.config,
@@ -258,7 +468,7 @@ impl<'a> Engine<'a> {
         let io0 = self.disk.io();
         let t0 = Instant::now();
         let pool = BufferPool::new(&self.disk, self.config.buffer_pages);
-        let ev = NaiveEvaluator::new(self.catalog, &pool);
+        let ev = NaiveEvaluator::new(&self.catalog, &pool);
         let answer = ev.eval(q)?;
         let m = metrics.op_mut(id);
         m.fuzzy_comparisons = ev.comparisons();

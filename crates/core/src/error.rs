@@ -21,6 +21,14 @@ pub enum EngineError {
     /// Static plan verification rejected the plan (a transformer or
     /// optimizer bug — see `fuzzy_engine::verify`).
     Verify(String),
+    /// A prepared statement's pinned plan was built against an older catalog
+    /// version; the statement must be re-prepared.
+    StalePlan {
+        /// Catalog version the plan was prepared against.
+        planned_version: u64,
+        /// Catalog version at execution time.
+        catalog_version: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -32,6 +40,11 @@ impl fmt::Display for EngineError {
             EngineError::Bind(msg) => write!(f, "binding error: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             EngineError::Verify(msg) => write!(f, "plan verification failed: {msg}"),
+            EngineError::StalePlan { planned_version, catalog_version } => write!(
+                f,
+                "prepared plan is stale: planned against catalog version \
+                 {planned_version}, catalog is now at {catalog_version}; re-prepare the statement"
+            ),
         }
     }
 }
@@ -76,5 +89,8 @@ mod tests {
         let e = EngineError::Verify("[V-PROP-SORT] at #2".into());
         assert!(e.to_string().contains("plan verification failed"));
         assert!(e.to_string().contains("V-PROP-SORT"));
+        let e = EngineError::StalePlan { planned_version: 3, catalog_version: 5 };
+        assert!(e.to_string().contains("stale"));
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 }

@@ -93,6 +93,13 @@ pub struct ExecConfig {
     /// from the simulated I/O (see DESIGN.md §11). `false` restores the
     /// materialize-every-step behaviour for A/B measurements.
     pub pipeline_joins: bool,
+    /// Session-level default for the answer threshold: statements that carry
+    /// no explicit `WITH D > z` clause are post-filtered to degrees `> z`.
+    /// Applied by the engine as a pure presentation filter (before ORDER BY
+    /// and LIMIT), so it never shapes the plan and is excluded from the
+    /// plan-cache key. `None` (the default) keeps the paper's `D > 0`
+    /// semantics.
+    pub default_threshold: Option<f64>,
 }
 
 /// Physical algorithms for a flat equi-join step.
@@ -116,6 +123,7 @@ impl Default for ExecConfig {
             join_method: JoinMethod::default(),
             threads: 1,
             pipeline_joins: true,
+            default_threshold: None,
         }
     }
 }
@@ -172,7 +180,7 @@ pub struct Executor {
     temp_counter: u64,
     /// Optional column-statistics registry consulted by the join-order
     /// optimizer.
-    statistics: Option<std::rc::Rc<crate::stats_histogram::StatsRegistry>>,
+    statistics: Option<std::sync::Arc<crate::stats_histogram::StatsRegistry>>,
 }
 
 impl Executor {
@@ -191,7 +199,7 @@ impl Executor {
     /// estimates for the join-order optimizer).
     pub fn with_statistics(
         mut self,
-        stats: std::rc::Rc<crate::stats_histogram::StatsRegistry>,
+        stats: std::sync::Arc<crate::stats_histogram::StatsRegistry>,
     ) -> Executor {
         self.statistics = Some(stats);
         self
@@ -286,7 +294,6 @@ impl Executor {
     /// and refusing to run beats silently corrupting degrees. The verifier
     /// checks the very operator declarations the instantiated tree carries.
     pub fn run(&mut self, plan: &UnnestPlan) -> Result<Relation> {
-        self.metrics_reset();
         #[cfg(debug_assertions)]
         {
             let report = crate::verify::verify_plan(plan, &self.config, self.statistics.as_deref());
@@ -298,6 +305,14 @@ impl Executor {
                 )));
             }
         }
+        self.run_preverified(plan)
+    }
+
+    /// [`Executor::run`] for a plan whose static verification is already
+    /// trusted — the plan-cache path: a hit replays a plan that was verified
+    /// when it was built, so even debug builds skip re-verification here.
+    pub fn run_preverified(&mut self, plan: &UnnestPlan) -> Result<Relation> {
+        self.metrics_reset();
         let lowered = lower::lower(plan, &self.config, self.statistics.as_deref());
         let mut ops = lowered.instantiate();
         let mut state = op::TreeState::new(ops.len());

@@ -272,6 +272,34 @@ pub fn render_actual(outcome: &QueryOutcome) -> String {
         out.push('\n');
     }
     out.push_str(&format!("answer: {} rows\n", outcome.answer.len()));
+    out.push_str(&render_serving(&outcome.serving));
+    out
+}
+
+/// Renders the serving section of `EXPLAIN ANALYZE`: the plan-cache verdict
+/// for this statement, the registry totals, and the concurrency snapshot.
+/// Empty when the statement ran without a serving layer (no plan cache
+/// attached), so single-engine harness output is unchanged.
+fn render_serving(s: &crate::metrics::ServingInfo) -> String {
+    let hit = match s.cache_hit {
+        Some(true) => "hit",
+        Some(false) => "miss",
+        None => return String::new(),
+    };
+    let mut out = String::from("serving:\n");
+    out.push_str(&format!(
+        "  plan cache: {hit} (verifications this statement: {})\n",
+        s.plan_verifications
+    ));
+    out.push_str(&format!(
+        "  cache totals: {} hits, {} misses, {} invalidations, {} evictions, {} entries\n",
+        s.cache.hits, s.cache.misses, s.cache.invalidations, s.cache.evictions, s.cache.entries
+    ));
+    out.push_str(&format!(
+        "  sessions in flight: {}, catalog lock wait: {:.3}ms\n",
+        s.sessions_in_flight,
+        s.lock_wait.as_secs_f64() * 1e3
+    ));
     out
 }
 

@@ -23,7 +23,7 @@
 //! ```text
 //! let disk = SimDisk::with_default_page_size();
 //! let catalog = fuzzy_workload::paper::dating_service(&disk)?;
-//! let engine = Engine::new(&catalog, &disk);
+//! let engine = Engine::over(Arc::new(catalog), &disk);
 //! let nested = engine.run_sql(QUERY_2, Strategy::NestedLoop)?;
 //! let unnested = engine.run_sql(QUERY_2, Strategy::Unnest)?;
 //! assert_eq!(nested.answer.canonicalized(), unnested.answer.canonicalized());
@@ -45,6 +45,7 @@ pub mod naive;
 pub mod nested_loop;
 pub mod optimizer;
 pub mod plan;
+pub mod plan_cache;
 pub mod stats_histogram;
 pub mod unnest;
 pub mod verify;
@@ -52,9 +53,12 @@ pub mod verify;
 pub use engine::{Engine, QueryOutcome, Strategy};
 pub use error::{EngineError, Result};
 pub use exec::{ExecConfig, ExecStats, Executor, JoinMethod};
-pub use metrics::{OpKind, OperatorMetrics, OperatorNode, QueryMetrics};
+pub use metrics::{
+    OpKind, OperatorMetrics, OperatorNode, QueryMetrics, ServingCounters, ServingInfo,
+};
 pub use naive::NaiveEvaluator;
 pub use plan::{RewriteRule, UnnestPlan};
+pub use plan_cache::{CacheStats, PlanCache, Planned, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use stats_histogram::{Histogram, StatsRegistry};
 pub use unnest::build_plan;
 pub use verify::{

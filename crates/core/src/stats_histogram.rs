@@ -216,10 +216,14 @@ mod tests {
 }
 
 /// A lazily-populated cache of per-column histograms, shared across queries
-/// (the `ANALYZE`-style statistics store the optimizer consults).
+/// (the `ANALYZE`-style statistics store the optimizer consults). The cache
+/// sits behind a mutex so one registry can serve concurrent sessions; the
+/// critical section covers only the map lookup/insert, never the build scan
+/// (two racing first requests may both scan — the second insert wins, which
+/// is harmless because histograms of the same table snapshot are identical).
 #[derive(Debug, Default)]
 pub struct StatsRegistry {
-    cache: std::cell::RefCell<std::collections::HashMap<(String, usize), std::rc::Rc<Histogram>>>,
+    cache: std::sync::Mutex<std::collections::HashMap<(String, usize), std::sync::Arc<Histogram>>>,
     /// Buckets per histogram.
     buckets: usize,
 }
@@ -238,25 +242,25 @@ impl StatsRegistry {
         table: &StoredTable,
         attr: usize,
         pool: &BufferPool,
-    ) -> Result<std::rc::Rc<Histogram>> {
+    ) -> Result<std::sync::Arc<Histogram>> {
         let key = (table.name().to_lowercase(), attr);
-        if let Some(h) = self.cache.borrow().get(&key) {
+        if let Some(h) = self.cache.lock().expect("stats lock").get(&key) {
             return Ok(h.clone());
         }
         let buckets = if self.buckets == 0 { 16 } else { self.buckets };
-        let h = std::rc::Rc::new(Histogram::build(table, attr, buckets, pool)?);
-        self.cache.borrow_mut().insert(key, h.clone());
+        let h = std::sync::Arc::new(Histogram::build(table, attr, buckets, pool)?);
+        self.cache.lock().expect("stats lock").insert(key, h.clone());
         Ok(h)
     }
 
     /// Number of cached histograms.
     pub fn len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().expect("stats lock").len()
     }
 
     /// True iff nothing has been analyzed yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.borrow().is_empty()
+        self.cache.lock().expect("stats lock").is_empty()
     }
 }
 

@@ -98,7 +98,7 @@ fn degrees(rel: &Relation) -> HashMap<String, f64> {
 fn check_equivalence(sql: &str, r: &[Row], s: &[Row], t: &[Row]) -> Result<(), TestCaseError> {
     let disk = SimDisk::with_default_page_size();
     let catalog = build_catalog(&disk, r, s, t);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let naive = engine
         .run_sql(sql, EvalStrategy::Naive)
         .map_err(|e| TestCaseError::fail(format!("naive failed: {e}")))?;
@@ -397,10 +397,10 @@ fn check_partitioned(sql: &str, r: &[Row], s: &[Row]) -> Result<(), TestCaseErro
     use fuzzy_engine::exec::{ExecConfig, JoinMethod};
     let disk = SimDisk::with_default_page_size();
     let catalog = build_catalog(&disk, r, s, &[]);
-    let naive = Engine::new(&catalog, &disk)
+    let naive = Engine::over(catalog.clone().into(), &disk)
         .run_sql(sql, EvalStrategy::Naive)
         .map_err(|e| TestCaseError::fail(format!("naive failed: {e}")))?;
-    let part = Engine::new(&catalog, &disk)
+    let part = Engine::over(catalog.clone().into(), &disk)
         .with_config(ExecConfig {
             buffer_pages: 4, // force several partitions even on tiny inputs
             sort_pages: 4,
@@ -455,7 +455,7 @@ proptest! {
         };
         let disk = SimDisk::with_default_page_size();
         let catalog = build_catalog(&disk, &r, &s, &[]);
-        let engine = Engine::new(&catalog, &disk);
+        let engine = Engine::over(catalog.clone().into(), &disk);
         let naive = engine.run_sql(sql, EvalStrategy::Naive)
             .map_err(|e| TestCaseError::fail(format!("naive: {e}")))?;
         let mat = engine.run_sql(sql, EvalStrategy::MaterializedNestedLoop)
@@ -484,10 +484,10 @@ proptest! {
                     (SELECT T.Y FROM T WHERE T.X = S.X))";
         let disk = SimDisk::with_default_page_size();
         let catalog = build_catalog(&disk, &r, &s, &t);
-        let naive = Engine::new(&catalog, &disk)
+        let naive = Engine::over(catalog.clone().into(), &disk)
             .run_sql(sql, EvalStrategy::Naive)
             .map_err(|e| TestCaseError::fail(format!("naive: {e}")))?;
-        let part = Engine::new(&catalog, &disk)
+        let part = Engine::over(catalog.clone().into(), &disk)
             .with_config(ExecConfig {
                 buffer_pages: 4,
                 sort_pages: 4,

@@ -45,7 +45,7 @@ fn assert_same_answers(answers: &[(Strategy, Relation)]) {
     }
 }
 
-fn run_all(engine: &Engine<'_>, sql: &str) -> Vec<(Strategy, Relation)> {
+fn run_all(engine: &Engine, sql: &str) -> Vec<(Strategy, Relation)> {
     STRATEGIES
         .iter()
         .map(|&s| {
@@ -60,7 +60,7 @@ fn run_all(engine: &Engine<'_>, sql: &str) -> Vec<(Strategy, Relation)> {
 fn example_41_type_n_query_2() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT F.NAME FROM F \
                WHERE F.AGE = 'medium young' AND F.INCOME IN \
                (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')";
@@ -79,7 +79,7 @@ fn example_41_intermediate_relation_t() {
     // medium low -> 0.5, which the paper's printed table truncates).
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT M.INCOME FROM M WHERE M.AGE = 'middle age'";
     let answers = run_all(&engine, sql);
     assert_same_answers(&answers);
@@ -99,7 +99,7 @@ fn query_1_flat_join() {
     // "medium high".
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT F.NAME, M.NAME FROM F, M \
                WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'";
     let answers = run_all(&engine, sql);
@@ -118,7 +118,7 @@ fn query_1_flat_join() {
 fn query_2_with_threshold() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT F.NAME FROM F \
                WHERE F.AGE = 'medium young' AND F.INCOME IN \
                (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age') \
@@ -136,7 +136,7 @@ fn query_2_with_threshold() {
 fn query_4_type_jx_not_in() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME NOT IN \
                (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)";
     let answers = run_all(&engine, sql);
@@ -154,7 +154,7 @@ fn query_4_type_jx_not_in() {
 fn query_5_type_ja_aggregate() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::cities(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM CITIES_REGION_A R \
                WHERE R.AVE_HOME_INCOME > \
                (SELECT MAX(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
@@ -172,7 +172,7 @@ fn count_aggregate_with_outer_join_branch() {
     // appear via the IF-THEN-ELSE branch comparing against 0.
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::cities(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM CITIES_REGION_A R \
                WHERE 2 > \
                (SELECT COUNT(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
@@ -187,7 +187,7 @@ fn count_aggregate_with_outer_join_branch() {
 fn jall_quantified_query() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME < ALL \
                (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)";
     let answers = run_all(&engine, sql);
@@ -201,7 +201,7 @@ fn jall_quantified_query() {
 fn jsome_quantified_query() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME = SOME \
                (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)";
     let answers = run_all(&engine, sql);
@@ -222,7 +222,7 @@ fn chain_query_three_levels() {
     for name in ["EMP_SALES", "EMP_RESEARCH"] {
         catalog.register(emp.table(name).unwrap().clone());
     }
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT F.NAME FROM F WHERE F.INCOME IN \
                (SELECT E.INCOME FROM EMP_SALES E WHERE E.AGE = F.AGE AND E.INCOME IN \
                 (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = E.AGE))";
@@ -237,7 +237,7 @@ fn chain_query_three_levels() {
 fn uncorrelated_aggregate_type_a() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME > \
                (SELECT AVG(S.INCOME) FROM EMP_RESEARCH S)";
     let answers = run_all(&engine, sql);
@@ -248,7 +248,7 @@ fn uncorrelated_aggregate_type_a() {
 fn uncorrelated_not_in_type_nx() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME NOT IN \
                (SELECT S.INCOME FROM EMP_RESEARCH S)";
     let answers = run_all(&engine, sql);
@@ -259,7 +259,7 @@ fn uncorrelated_not_in_type_nx() {
 fn uncorrelated_all_type_all() {
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::employees(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME >= ALL \
                (SELECT S.INCOME FROM EMP_RESEARCH S)";
     let answers = run_all(&engine, sql);
@@ -300,7 +300,7 @@ fn appendix_example_crisp_vs_distribution() {
     ])
     .unwrap();
     catalog.register(s);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let answers = run_all(&engine, "SELECT R.X FROM R, S WHERE R.Y = S.Y");
     assert_same_answers(&answers);
     let d = degrees(&answers[0].1);
@@ -314,7 +314,7 @@ fn query_3_is_the_unnested_form_of_query_2() {
     // their equivalence; here both are executed and compared directly.
     let disk = SimDisk::with_default_page_size();
     let catalog = paper::dating_service(&disk).unwrap();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let query2 = "SELECT F.NAME FROM F \
                   WHERE F.AGE = 'medium young' AND F.INCOME IN \
                   (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')";

@@ -254,7 +254,7 @@ fn join_reordering_preserves_answers_on_lopsided_tables() {
                 (SELECT C.Y FROM C WHERE C.X = B.X))";
     let mut answers = Vec::new();
     for reorder in [false, true] {
-        let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+        let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
             buffer_pages: 32,
             sort_pages: 32,
             reorder_joins: reorder,
@@ -265,7 +265,7 @@ fn join_reordering_preserves_answers_on_lopsided_tables() {
     assert_eq!(answers[0], answers[1], "reordering changed the answer");
     assert!(!answers[0].is_empty(), "workload should produce matches");
     // And both agree with the naive reference.
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let naive = engine.run_sql(sql, Strategy::Naive).unwrap().answer.canonicalized();
     assert_eq!(answers[0], naive);
 }
@@ -303,7 +303,7 @@ fn threshold_pushdown_shrinks_windows_without_changing_answers() {
     let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > 0.8";
     let mut outcomes = Vec::new();
     for pushdown in [false, true] {
-        let engine = Engine::new(&catalog, &disk)
+        let engine = Engine::over(catalog.clone().into(), &disk)
             .with_config(ExecConfig { threshold_pushdown: pushdown, ..Default::default() });
         outcomes.push(engine.run_sql(sql, Strategy::Unnest).unwrap());
     }
@@ -319,7 +319,7 @@ fn threshold_pushdown_shrinks_windows_without_changing_answers() {
         outcomes[0].exec_stats.pairs_examined
     );
     // And both agree with the naive reference.
-    let naive = Engine::new(&catalog, &disk).run_sql(sql, Strategy::Naive).unwrap();
+    let naive = Engine::over(catalog.clone().into(), &disk).run_sql(sql, Strategy::Naive).unwrap();
     assert_eq!(outcomes[1].answer.canonicalized(), naive.answer.canonicalized());
 }
 
@@ -329,7 +329,7 @@ fn statistics_aware_ordering_beats_the_blind_heuristic() {
     use fuzzy_engine::exec::ExecConfig;
     use fuzzy_engine::{Engine, StatsRegistry, Strategy};
     use fuzzy_rel::Tuple;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     // Three tables; B is nominally mid-sized but its local predicate
     // (B.Y <= 5 over values 0..1000) keeps almost nothing — only a
@@ -354,8 +354,8 @@ fn statistics_aware_ordering_beats_the_blind_heuristic() {
     let sql = "SELECT A.ID FROM A WHERE A.Y <= 9 AND A.X IN \
                (SELECT B.X FROM B WHERE B.Y <= 5 AND B.X IN \
                 (SELECT C.X FROM C WHERE C.Y <= 9))";
-    let run = |stats: Option<Rc<StatsRegistry>>| {
-        let mut engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+    let run = |stats: Option<Arc<StatsRegistry>>| {
+        let mut engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
             buffer_pages: 16,
             sort_pages: 16,
             ..Default::default()
@@ -367,7 +367,7 @@ fn statistics_aware_ordering_beats_the_blind_heuristic() {
         engine.run_sql(sql, Strategy::Unnest).unwrap()
     };
     let blind = run(None);
-    let reg = Rc::new(StatsRegistry::new(16));
+    let reg = Arc::new(StatsRegistry::new(16));
     // Warm the histograms so the comparison isn't polluted by ANALYZE scans.
     let _ = run(Some(reg.clone()));
     let informed = run(Some(reg));

@@ -5,10 +5,17 @@ use fuzzy_core::Vocabulary;
 use std::collections::HashMap;
 
 /// The database catalog. Table names are case-insensitive.
+///
+/// The catalog carries a monotonically increasing **version** counter: every
+/// structural mutation (registering a table, touching the vocabulary, or an
+/// explicit [`Catalog::bump_version`] after DML) increments it. Plan caches
+/// key cached plans on this version, so any DDL/DML conservatively
+/// invalidates every plan built against an older catalog snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, StoredTable>,
     vocab: Vocabulary,
+    version: u64,
 }
 
 impl Catalog {
@@ -19,12 +26,26 @@ impl Catalog {
 
     /// A catalog using the paper's calibrated vocabulary.
     pub fn with_paper_vocabulary() -> Catalog {
-        Catalog { tables: HashMap::new(), vocab: Vocabulary::paper() }
+        Catalog { tables: HashMap::new(), vocab: Vocabulary::paper(), version: 0 }
+    }
+
+    /// The catalog version: bumped on every registration, vocabulary access,
+    /// or explicit [`Catalog::bump_version`]. Cached plans built against an
+    /// older version are stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Explicitly advances the version (DML that mutates table *contents*
+    /// without re-registering the table, e.g. appends).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Registers (or replaces) a table under its own name.
     pub fn register(&mut self, table: StoredTable) {
         self.tables.insert(table.name().to_lowercase(), table);
+        self.version += 1;
     }
 
     /// Looks a table up by name.
@@ -42,8 +63,11 @@ impl Catalog {
         &self.vocab
     }
 
-    /// Mutable access to the vocabulary, for defining terms.
+    /// Mutable access to the vocabulary, for defining terms. Conservatively
+    /// bumps the catalog version (a redefined term changes what cached plans
+    /// would resolve).
     pub fn vocabulary_mut(&mut self) -> &mut Vocabulary {
+        self.version += 1;
         &mut self.vocab
     }
 }
@@ -65,6 +89,25 @@ mod tests {
         assert!(c.table("Emp").is_some());
         assert!(c.table("dept").is_none());
         assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["EMP"]);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let disk = SimDisk::with_default_page_size();
+        let mut c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        c.register(StoredTable::create(&disk, "T", Schema::of(&[("X", AttrType::Number)])));
+        assert_eq!(c.version(), 1);
+        c.vocabulary_mut().define("tall", Trapezoid::new(1.0, 2.0, 3.0, 4.0).unwrap());
+        assert_eq!(c.version(), 2);
+        c.bump_version();
+        assert_eq!(c.version(), 3);
+        // Clones carry the version of their source snapshot.
+        assert_eq!(c.clone().version(), 3);
+        // Reads do not bump.
+        let _ = c.table("t");
+        let _ = c.vocabulary();
+        assert_eq!(c.version(), 3);
     }
 
     #[test]

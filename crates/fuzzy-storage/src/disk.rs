@@ -41,11 +41,22 @@ struct DiskInner {
     /// Reclaimed page ids available for reuse (LIFO). Guarded separately
     /// from `backing`; the two locks are never held at the same time.
     free: Mutex<Vec<PageId>>,
-    /// When `Some`, every allocation is recorded here so a caller can later
-    /// reclaim everything it allocated (statement-scoped temporaries).
-    alloc_log: Mutex<Option<Vec<PageId>>>,
+    /// Statement-scoped allocation log. While at least one scope is open,
+    /// every allocation is recorded; the log drains only when the *last*
+    /// scope closes, so overlapping statements (concurrent sessions) can
+    /// never reclaim a temporary another statement still reads.
+    alloc_log: Mutex<AllocLog>,
     reads: AtomicU64,
     writes: AtomicU64,
+}
+
+/// Reference-counted allocation-log state: `depth` counts the statement
+/// scopes currently open (overlapping statements from concurrent sessions
+/// stack), `pages` accumulates every id allocated while any scope is open.
+#[derive(Debug, Default)]
+struct AllocLog {
+    depth: u64,
+    pages: Vec<PageId>,
 }
 
 /// A shareable handle to a simulated disk. Cloning shares the same disk, and
@@ -85,7 +96,7 @@ impl SimDisk {
                 page_size,
                 backing: Mutex::new(Backing::Memory(Vec::new())),
                 free: Mutex::new(Vec::new()),
-                alloc_log: Mutex::new(None),
+                alloc_log: Mutex::new(AllocLog::default()),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
             }),
@@ -117,7 +128,7 @@ impl SimDisk {
                 page_size,
                 backing: Mutex::new(Backing::File { file, num_pages: len / page_size as u64 }),
                 free: Mutex::new(Vec::new()),
-                alloc_log: Mutex::new(None),
+                alloc_log: Mutex::new(AllocLog::default()),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
             }),
@@ -181,8 +192,9 @@ impl SimDisk {
                 }
             },
         };
-        if let Some(log) = self.inner.alloc_log.lock().expect("disk lock").as_mut() {
-            log.push(id);
+        let mut log = self.inner.alloc_log.lock().expect("disk lock");
+        if log.depth > 0 {
+            log.pages.push(id);
         }
         id
     }
@@ -203,18 +215,30 @@ impl SimDisk {
         total - free
     }
 
-    /// Starts recording every page id allocated from now on. Statement
-    /// executors use this to reclaim all temporary pages at statement end.
-    /// Logging is not reentrant: a second `begin_alloc_log` discards the
-    /// first log.
+    /// Opens a statement scope: every page id allocated from now on is
+    /// recorded so statement executors can reclaim their temporaries at
+    /// statement end. Scopes stack: concurrent sessions each open one, and
+    /// the shared log drains only when the last scope closes (see
+    /// [`SimDisk::take_alloc_log`]).
     pub fn begin_alloc_log(&self) {
-        *self.inner.alloc_log.lock().expect("disk lock") = Some(Vec::new());
+        self.inner.alloc_log.lock().expect("disk lock").depth += 1;
     }
 
-    /// Stops recording and returns the ids allocated since
-    /// [`SimDisk::begin_alloc_log`] (empty if logging was never started).
+    /// Closes one statement scope. If it was the last open scope, returns
+    /// every id allocated while any scope was open — all of them belong to
+    /// statements that have already finished, so the caller may free them.
+    /// While other scopes remain open (another session is mid-statement)
+    /// this returns an empty list: the pages drain when the last concurrent
+    /// statement closes its scope, so no live temporary is ever recycled.
+    /// A call without a matching [`SimDisk::begin_alloc_log`] is a no-op.
     pub fn take_alloc_log(&self) -> Vec<PageId> {
-        self.inner.alloc_log.lock().expect("disk lock").take().unwrap_or_default()
+        let mut log = self.inner.alloc_log.lock().expect("disk lock");
+        log.depth = log.depth.saturating_sub(1);
+        if log.depth == 0 {
+            std::mem::take(&mut log.pages)
+        } else {
+            Vec::new()
+        }
     }
 
     /// Reads a page into a fresh buffer, charging one physical read.
@@ -375,6 +399,29 @@ mod tests {
         assert_eq!(disk.live_pages(), 1);
         // With no active log, allocations are not recorded.
         let _ = disk.alloc_page();
+        assert!(disk.take_alloc_log().is_empty());
+    }
+
+    /// Overlapping statement scopes (concurrent sessions): the first scope
+    /// to close gets nothing back — its temporaries might still be read by
+    /// the other statement — and the last scope drains everything.
+    #[test]
+    fn overlapping_alloc_scopes_drain_only_at_the_last_close() {
+        let disk = SimDisk::new(128);
+        disk.begin_alloc_log(); // statement A
+        let a0 = disk.alloc_page();
+        disk.begin_alloc_log(); // statement B, concurrent with A
+        let b0 = disk.alloc_page();
+        // A finishes first: nothing is reclaimable while B runs, so A's
+        // temporary cannot be recycled out from under B.
+        assert!(disk.take_alloc_log().is_empty());
+        let b1 = disk.alloc_page();
+        assert_eq!(
+            disk.take_alloc_log(),
+            vec![a0, b0, b1],
+            "the last close drains every page allocated under any scope"
+        );
+        // Unbalanced closes are no-ops.
         assert!(disk.take_alloc_log().is_empty());
     }
 }

@@ -81,8 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (k, sql) in &chains {
         println!("== {k}-level chain ==");
-        let unnest = db.query_with(sql, Strategy::Unnest)?;
-        let naive = db.query_with(sql, Strategy::Naive)?;
+        let unnest = db.query(sql).strategy(Strategy::Unnest).run()?;
+        let naive = db.query(sql).strategy(Strategy::Naive).run()?;
         assert_eq!(
             unnest.answer.canonicalized(),
             naive.answer.canonicalized(),

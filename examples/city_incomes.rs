@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               WHERE R.AVE_HOME_INCOME > \
               (SELECT MAX(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
                WHERE S.POPULATION = R.POPULATION)";
-    let out = db.query_with(q5, Strategy::Unnest)?;
+    let out = db.query(q5).strategy(Strategy::Unnest).run()?;
     println!("Query 5 (type JA, MAX): plan {}\n{}", out.plan_label, out.answer);
 
     // Every aggregate function over the same correlation.
@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              (SELECT {agg}(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
               WHERE S.POPULATION = R.POPULATION)"
         );
-        let unnest = db.query_with(&sql, Strategy::Unnest)?;
-        let baseline = db.query_with(&sql, Strategy::NestedLoop)?;
+        let unnest = db.query(&sql).strategy(Strategy::Unnest).run()?;
+        let baseline = db.query(&sql).strategy(Strategy::NestedLoop).run()?;
         assert_eq!(
             unnest.answer.canonicalized(),
             baseline.answer.canonicalized(),
@@ -56,14 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                    (SELECT COUNT(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S \
                     WHERE S.POPULATION = R.POPULATION)";
     println!("\ncities with no similarly-sized city in region B:");
-    println!("{}", db.query(count_q)?);
+    println!("{}", db.query(count_q).collect()?);
 
     // An uncorrelated aggregate (type A): the inner block is a constant and
     // needs no unnesting — the paper notes this explicitly.
     let type_a = "SELECT R.NAME FROM CITIES_REGION_A R \
                   WHERE R.AVE_HOME_INCOME > \
                   (SELECT AVG(S.AVE_HOME_INCOME) FROM CITIES_REGION_B S)";
-    let out = db.query_with(type_a, Strategy::Unnest)?;
+    let out = db.query(type_a).strategy(Strategy::Unnest).run()?;
     println!("type A (uncorrelated AVG): plan {}\n{}", out.plan_label, out.answer);
     Ok(())
 }

@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (title, sql) in queries {
         println!("== {title} ==");
         println!("{sql}");
-        let unnested = db.query_with(sql, Strategy::Unnest)?;
-        let baseline = db.query_with(sql, Strategy::NestedLoop)?;
+        let unnested = db.query(sql).strategy(Strategy::Unnest).run()?;
+        let baseline = db.query(sql).strategy(Strategy::NestedLoop).run()?;
         // The equivalence theorems: both strategies agree exactly.
         assert_eq!(
             unnested.answer.canonicalized(),
@@ -71,14 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the EXIST quantifier "can be unnested similarly").
     let exists = "SELECT F.NAME FROM F WHERE EXISTS \
                   (SELECT M.NAME FROM M WHERE M.AGE = F.AGE)";
-    let out = db.query_with(exists, Strategy::Unnest)?;
+    let out = db.query(exists).strategy(Strategy::Unnest).run()?;
     println!("== EXISTS ==\nplan: {}\n{}", out.plan_label, out.answer);
 
     // A query whose shape is outside the unnesting catalogue falls back to
     // the naive evaluator transparently.
     let general = "SELECT F.NAME FROM F WHERE F.AGE IN (SELECT M.AGE FROM M) \
                    AND F.INCOME IN (SELECT M.INCOME FROM M)";
-    let out = db.query_with(general, Strategy::Unnest)?;
+    let out = db.query(general).strategy(Strategy::Unnest).run()?;
     println!(
         "== two sub-queries (outside the catalogue) ==\nplan: {}\n{}",
         out.plan_label, out.answer

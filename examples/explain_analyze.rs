@@ -28,7 +28,7 @@ fn main() {
     catalog.register(w.inner.clone());
     disk.reset_io();
 
-    let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+    let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
         buffer_pages: 32,
         sort_pages: 32,
         ..Default::default()

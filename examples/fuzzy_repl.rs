@@ -63,10 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match parts.next().unwrap_or("") {
                 "quit" | "q" => break,
                 "tables" => {
-                    let mut names: Vec<&str> = db.catalog().table_names().collect();
+                    let catalog = db.catalog();
+                    let mut names: Vec<&str> = catalog.table_names().collect();
                     names.sort_unstable();
                     for name in names {
-                        let t = db.catalog().table(name).unwrap();
+                        let t = catalog.table(name).unwrap();
                         println!(
                             "  {name}: {} tuples, {} pages, schema {}",
                             t.num_tuples(),
@@ -103,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             continue;
                         }
                     }
-                    match db.query_with(sql, strategy) {
+                    match db.query(sql).strategy(strategy).run() {
                         Ok(out) => println!(
                             "executed: {} rows | {} reads, {} writes | {} pairs | max Rng(r) {} | cpu {:?}",
                             out.answer.len(),
@@ -157,7 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let is_select = line.len() >= 6 && line[..6].eq_ignore_ascii_case("SELECT");
         if is_select {
-            match db.query_with(line, strategy) {
+            match db.query(line).strategy(strategy).run() {
                 Ok(outcome) => {
                     print!("{}", outcome.answer);
                     println!(

@@ -82,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
     let q_not_in = "SELECT F.NAME FROM F WHERE F.INCOME NOT IN \
                     (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
-    println!("possibly has a same-age income match:\n{}", db.query(q_in)?);
-    println!("possibly has NO same-age income match:\n{}", db.query(q_not_in)?);
+    println!("possibly has a same-age income match:\n{}", db.query(q_in).collect()?);
+    println!("possibly has NO same-age income match:\n{}", db.query(q_not_in).collect()?);
     println!(
         "Each person may appear in both answers: that is the uncertainty the\n\
          double-measure system encodes as (Poss, Nec), at the cost of\n\

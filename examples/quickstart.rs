@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q1 = "SELECT F.NAME, M.NAME FROM F, M \
               WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'";
     println!("Query 1: {q1}\n");
-    let out = db.query_with(q1, Strategy::Unnest)?;
+    let out = db.query(q1).strategy(Strategy::Unnest).run()?;
     println!("answer ({}):\n{}", out.plan_label, out.answer);
 
     // Query 2 (Section 2.3): a nested type-N query — medium young women with
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')";
     println!("Query 2: {q2}\n");
     for strategy in [Strategy::NestedLoop, Strategy::Unnest, Strategy::Naive] {
-        let out = db.query_with(q2, strategy)?;
+        let out = db.query(q2).strategy(strategy).run()?;
         println!(
             "[{:<11}] {} rows, {} page reads, {} page writes, cpu {:?}",
             out.plan_label,
@@ -46,11 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.measurement.cpu,
         );
     }
-    let answer = db.query(q2)?;
+    let answer = db.query(q2).collect()?;
     println!("\nanswer (the paper's printed result — Ann 0.7, Betty 0.7):\n{answer}");
 
     // Thresholding with the WITH clause.
     let q2_with = format!("{q2} WITH D > 0.65");
-    println!("with WITH D > 0.65:\n{}", db.query(&q2_with)?);
+    println!("with WITH D > 0.65:\n{}", db.query(&q2_with).collect()?);
     Ok(())
 }

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q4 = "SELECT R.NAME FROM EMP_SALES R WHERE R.INCOME NOT IN \
               (SELECT S.INCOME FROM EMP_RESEARCH S WHERE S.AGE = R.AGE)";
     println!("Query 4: {q4}\n");
-    let unnest = db.query_with(q4, Strategy::Unnest)?;
-    let baseline = db.query_with(q4, Strategy::NestedLoop)?;
+    let unnest = db.query(q4).strategy(Strategy::Unnest).run()?;
+    let baseline = db.query(q4).strategy(Strategy::NestedLoop).run()?;
     assert_eq!(
         unnest.answer.canonicalized(),
         baseline.answer.canonicalized(),
@@ -36,13 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // nobody in Research shares the person's income at their age; a low
     // degree means a close fuzzy match exists.
     println!("with WITH D > 0.5 (only strong exclusions):");
-    println!("{}", db.query(&format!("{q4} WITH D > 0.5"))?);
+    println!("{}", db.query(format!("{q4} WITH D > 0.5")).collect()?);
 
     // The complementary query (IN instead of NOT IN): by the single-measure
     // possibility semantics (Section 2's discussion), querying the negation
     // directly is the paper's recommended way to probe the other side.
     let q4_in = q4.replace("NOT IN", "IN");
     println!("the complementary IN query:");
-    println!("{}", db.query(&q4_in)?);
+    println!("{}", db.query(&q4_in).collect()?);
     Ok(())
 }

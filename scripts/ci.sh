@@ -32,6 +32,11 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+if [[ $quick -eq 0 ]]; then
+  echo "==> concurrent serving stress (release: races surface, timings real)"
+  cargo test -q --release --test concurrent_serving
+fi
+
 echo "==> EXPLAIN golden suite (fails on drift; UPDATE_GOLDEN=1 regenerates)"
 cargo test -q --test explain_golden
 
@@ -83,6 +88,24 @@ echo "==> metrics/planner hygiene (no dead_code escapes)"
 if grep -n '#\[allow(dead_code)\]' crates/core/src/metrics.rs crates/core/src/explain.rs \
     crates/core/src/verify.rs crates/core/src/plan.rs crates/core/src/optimizer.rs; then
   echo "error: engine code must not silence dead_code — wire the field up or remove it" >&2
+  exit 1
+fi
+
+echo "==> serving surface (query entry points must be &self: sessions share them)"
+# The concurrent serving layer (DESIGN.md §12) requires every query path on
+# the facade to take &self; only the DDL/DML/config surface below may take
+# &mut self. A new &mut self method on Database/Session/QueryBuilder/
+# PreparedQuery must either join this allowlist (a mutation) or take &self.
+allowed='^(define_term|create_table|insert|load|execute|catalog_mut|set_exec_config|set_threads|set_default_threshold|set_cost_model)$'
+mut_entry_points=$(awk '
+  /pub fn [a-z_]+/ { name = $0; sub(/.*pub fn /, "", name); sub(/[^a-z_].*/, "", name); capture = 4 }
+  capture > 0 { if (/&mut self/) print FILENAME ":" name; capture-- }
+' src/lib.rs src/serving.rs | sort -u | awk -F: -v allowed="$allowed" '$2 !~ allowed { print }')
+if [[ -n "$mut_entry_points" ]]; then
+  echo "error: new &mut self entry point(s) on the serving facade — query paths" >&2
+  echo "must take &self (sessions run them concurrently); if this is genuinely a" >&2
+  echo "DDL/DML or config mutation, add it to the allowlist in scripts/ci.sh:" >&2
+  echo "$mut_entry_points" >&2
   exit 1
 fi
 

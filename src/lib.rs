@@ -18,7 +18,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use fuzzy_db::{Database, Strategy};
+//! use fuzzy_db::Database;
 //! use fuzzy_db::rel::{AttrType, Schema, Tuple};
 //! use fuzzy_db::core::{Trapezoid, Value};
 //!
@@ -37,9 +37,37 @@
 //!     Value::fuzzy(Trapezoid::triangular(30.0, 35.0, 40.0)?),
 //! ]))?;
 //!
-//! let answer = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'medium young'")?;
+//! let answer = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'medium young'").collect()?;
 //! assert_eq!(answer.len(), 1);
 //! assert!((answer.tuples()[0].degree.value() - 0.5).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Concurrent serving
+//!
+//! A [`Database`] is a handle over shared state (disk, catalog, statistics,
+//! verified-plan cache, serving counters). [`Database::session`] hands out
+//! cheap [`Session`] clones that are `Send + Sync`: read statements run
+//! concurrently under a shared catalog lock while DDL/DML briefly takes it
+//! exclusively, bumps the catalog version, and thereby invalidates cached
+//! plans (see `DESIGN.md` §12 and `tests/concurrent_serving.rs`).
+//!
+//! ```
+//! use fuzzy_db::Database;
+//! use fuzzy_db::rel::{AttrType, Schema, Tuple};
+//! use fuzzy_db::core::Value;
+//!
+//! let mut db = Database::new();
+//! db.create_table("R", Schema::of(&[("X", AttrType::Number)]))?;
+//! db.insert("R", Tuple::full(vec![Value::number(1.0)]))?;
+//! let session = db.session();
+//! let handle = std::thread::spawn(move || {
+//!     session.query("SELECT R.X FROM R").collect().map(|ans| ans.len())
+//! });
+//! assert_eq!(handle.join().unwrap()?, 1);
+//! // The same statement again: answered from the verified-plan cache.
+//! assert_eq!(db.query("SELECT R.X FROM R").collect()?.len(), 1);
+//! assert!(db.plan_cache_stats().hits >= 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -66,22 +94,29 @@ pub use fuzzy_sql as sql;
 pub use fuzzy_storage as storage;
 pub use fuzzy_workload as workload;
 
-pub use fuzzy_engine::{EngineError, QueryOutcome, Strategy};
+mod serving;
+
+pub use fuzzy_engine::plan_cache::CacheStats;
+pub use fuzzy_engine::{EngineError, QueryOutcome, ServingCounters, Strategy};
+pub use serving::{CatalogWrite, PreparedQuery, QueryBuilder, Session};
 
 use fuzzy_core::{Degree, Trapezoid};
-use fuzzy_engine::{exec::ExecConfig, Engine};
-use fuzzy_rel::{Catalog, Relation, Schema, StoredTable, Tuple};
+use fuzzy_engine::exec::ExecConfig;
+use fuzzy_rel::{Catalog, Relation, Schema, Tuple};
 use fuzzy_storage::{CostModel, SimDisk};
+use serving::Shared;
+use std::sync::Arc;
 
 /// A self-contained fuzzy database: a simulated disk, a catalog, a
-/// vocabulary, and the query engine.
+/// vocabulary, the query engine, and the serving state (plan cache +
+/// counters) its sessions share.
+///
+/// `Database` itself is the **root session** plus the cost model: every
+/// query/DDL method delegates to an owned [`Session`], and
+/// [`Database::session`] clones further handles for other threads.
 pub struct Database {
-    disk: SimDisk,
-    catalog: Catalog,
-    config: ExecConfig,
+    session: Session,
     cost: CostModel,
-    persist_path: Option<std::path::PathBuf>,
-    statistics: std::rc::Rc<fuzzy_engine::StatsRegistry>,
 }
 
 impl Default for Database {
@@ -91,41 +126,30 @@ impl Default for Database {
 }
 
 impl Database {
+    fn from_shared(shared: Shared) -> Database {
+        Database {
+            session: Session { shared: Arc::new(shared), config: ExecConfig::default() },
+            cost: CostModel::default(),
+        }
+    }
+
     /// An empty database with an empty vocabulary.
     pub fn new() -> Database {
-        Database {
-            disk: SimDisk::with_default_page_size(),
-            catalog: Catalog::new(),
-            config: ExecConfig::default(),
-            cost: CostModel::default(),
-            persist_path: None,
-            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
-        }
+        Database::from_shared(Shared::new(Catalog::new(), SimDisk::with_default_page_size()))
     }
 
     /// A database preloaded with the paper's calibrated vocabulary
     /// ("medium young", "about 35", "middle age", "high", …).
     pub fn with_paper_vocabulary() -> Database {
-        Database {
-            disk: SimDisk::with_default_page_size(),
-            catalog: Catalog::with_paper_vocabulary(),
-            config: ExecConfig::default(),
-            cost: CostModel::default(),
-            persist_path: None,
-            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
-        }
+        Database::from_shared(Shared::new(
+            Catalog::with_paper_vocabulary(),
+            SimDisk::with_default_page_size(),
+        ))
     }
 
     /// Wraps an existing catalog + disk (e.g. from `fuzzy_workload`).
     pub fn from_catalog(catalog: Catalog, disk: SimDisk) -> Database {
-        Database {
-            disk,
-            catalog,
-            config: ExecConfig::default(),
-            cost: CostModel::default(),
-            persist_path: None,
-            statistics: std::rc::Rc::new(fuzzy_engine::StatsRegistry::new(16)),
-        }
+        Database::from_shared(Shared::new(catalog, disk))
     }
 
     /// Opens (or creates) a persistent database rooted at `path`: table pages
@@ -147,20 +171,20 @@ impl Database {
                 ))))
             }
         };
-        let mut db = Database::from_catalog(catalog, disk);
-        db.persist_path = Some(manifest);
-        Ok(db)
+        let mut shared = Shared::new(catalog, disk);
+        shared.persist_path = Some(manifest);
+        Ok(Database::from_shared(shared))
     }
 
     /// Writes the catalog manifest of a database opened with
     /// [`Database::open`]. Errors for purely in-memory databases.
     pub fn save(&self) -> Result<(), EngineError> {
-        let path = self.persist_path.as_ref().ok_or_else(|| {
+        let path = self.session.shared.persist_path.as_ref().ok_or_else(|| {
             EngineError::Unsupported(
                 "this database is in-memory; open it with Database::open to persist".into(),
             )
         })?;
-        let bytes = fuzzy_rel::manifest::encode(&self.catalog);
+        let bytes = fuzzy_rel::manifest::encode(&self.catalog());
         std::fs::write(path, bytes).map_err(|e| {
             EngineError::Storage(fuzzy_storage::StorageError::Corrupt(format!(
                 "cannot write manifest: {e}"
@@ -168,31 +192,33 @@ impl Database {
         })
     }
 
+    /// A new session over this database: a cheap, `Send + Sync` handle that
+    /// shares the disk, catalog, statistics, plan cache, and counters, with
+    /// its own copy of the current execution configuration.
+    pub fn session(&self) -> Session {
+        self.session.clone()
+    }
+
+    /// An owned engine over the current catalog snapshot (wired to the
+    /// shared statistics, plan cache, and serving counters).
+    pub fn engine(&self) -> fuzzy_engine::Engine {
+        self.session.engine()
+    }
+
     /// Defines (or redefines) a linguistic term.
     pub fn define_term(&mut self, name: impl AsRef<str>, shape: Trapezoid) {
-        self.catalog.vocabulary_mut().define(name, shape);
+        self.session.define_term(name, shape);
     }
 
     /// Creates an empty table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), EngineError> {
-        if self.catalog.table(name).is_some() {
-            return Err(EngineError::Bind(format!("table {name:?} already exists")));
-        }
-        self.catalog.register(StoredTable::create(&self.disk, name, schema));
-        Ok(())
+        self.session.create_table(name, schema)
     }
 
     /// Inserts one tuple. Tuples with degree 0 are not members and are
     /// silently skipped, matching the membership criterion of Section 2.
     pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<(), EngineError> {
-        let t = self
-            .catalog
-            .table(table)
-            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
-        if tuple.degree.is_positive() {
-            t.file().append(&tuple.encode(t.min_record_bytes()))?;
-        }
-        Ok(())
+        self.session.insert(table, tuple)
     }
 
     /// Bulk-loads tuples into a table.
@@ -201,47 +227,39 @@ impl Database {
         table: &str,
         tuples: I,
     ) -> Result<(), EngineError> {
-        let t = self
-            .catalog
-            .table(table)
-            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
-        t.load(tuples)?;
-        Ok(())
+        self.session.load(table, tuples)
     }
 
-    /// Runs a query with the default strategy (unnest + extended merge-join)
-    /// and returns the answer relation.
-    pub fn query(&self, sql: &str) -> Result<Relation, EngineError> {
-        Ok(self.query_with(sql, Strategy::Unnest)?.answer)
+    /// Starts a query: `db.query(sql).strategy(..).threshold(..).collect()`.
+    /// This is the one SELECT entry point; see [`QueryBuilder`].
+    pub fn query(&self, sql: impl AsRef<str>) -> QueryBuilder {
+        self.session.query(sql)
     }
 
-    /// Runs a query with an explicit strategy, returning the full outcome
-    /// (answer, I/O counters, CPU time, plan label).
+    /// Parses and plans `sql` once, pinning the verified plan; see
+    /// [`PreparedQuery`].
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery, EngineError> {
+        self.session.prepare(sql)
+    }
+
+    /// Runs a query with an explicit strategy, returning the full outcome.
+    #[deprecated(note = "use db.query(sql).strategy(s).run()")]
     pub fn query_with(&self, sql: &str, strategy: Strategy) -> Result<QueryOutcome, EngineError> {
-        Engine::new(&self.catalog, &self.disk)
-            .with_config(self.config)
-            .with_statistics(self.statistics.clone())
-            .run_sql(sql, strategy)
+        self.query(sql).strategy(strategy).run()
     }
 
     /// Explains how a query would be evaluated: its classified nesting type
     /// (Sections 4-8 of the paper), the unnested plan, and deterministic cost
     /// estimates.
     pub fn explain(&self, sql: &str) -> Result<String, EngineError> {
-        Engine::new(&self.catalog, &self.disk)
-            .with_config(self.config)
-            .with_statistics(self.statistics.clone())
-            .explain(sql)
+        self.query(sql).explain()
     }
 
     /// Runs the query and renders the `EXPLAIN` output annotated with the
-    /// *actual* per-operator counters and wall times (`EXPLAIN ANALYZE`).
+    /// *actual* per-operator counters and wall times (`EXPLAIN ANALYZE`),
+    /// including the plan-cache/serving section.
     pub fn explain_analyze(&self, sql: &str) -> Result<String, EngineError> {
-        let (text, _) = Engine::new(&self.catalog, &self.disk)
-            .with_config(self.config)
-            .with_statistics(self.statistics.clone())
-            .explain_analyze(sql)?;
-        Ok(text)
+        Ok(self.query(sql).explain_analyze()?.0)
     }
 
     /// Renders the `EXPLAIN VERIFY` output for a query: the static plan
@@ -249,30 +267,52 @@ impl Database {
     /// bound, every physical operator's required and delivered properties,
     /// and any violations (see `fuzzy_engine::verify`).
     pub fn explain_verify(&self, sql: &str) -> Result<String, EngineError> {
-        Engine::new(&self.catalog, &self.disk)
-            .with_config(self.config)
-            .with_statistics(self.statistics.clone())
-            .explain_verify(sql)
+        self.query(sql).explain_verify()
     }
 
-    /// The catalog (tables + vocabulary).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Executes one statement: SELECT, CREATE TABLE, DEFINE TERM, INSERT,
+    /// ANALYZE, DELETE, or UPDATE — see [`Session::execute`].
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, EngineError> {
+        self.session.execute(sql)
     }
 
-    /// Mutable catalog access (registering externally built tables).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// The current catalog snapshot (tables + vocabulary). DDL/DML after
+    /// this call is not visible through the snapshot; take a fresh one.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.session.catalog()
+    }
+
+    /// Exclusive catalog access (registering externally built tables).
+    /// Mutations bump the catalog version and invalidate cached plans.
+    pub fn catalog_mut(&mut self) -> CatalogWrite<'_> {
+        self.session.catalog_mut()
     }
 
     /// The simulated disk (for I/O accounting in experiments).
     pub fn disk(&self) -> &SimDisk {
-        &self.disk
+        self.session.disk()
     }
 
-    /// Overrides the execution configuration.
+    /// The execution configuration of the root session.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.session.config()
+    }
+
+    /// Overrides the execution configuration of the root session (sessions
+    /// already handed out keep theirs).
     pub fn set_exec_config(&mut self, config: ExecConfig) {
-        self.config = config;
+        self.session.set_exec_config(config);
+    }
+
+    /// Exact counters of the shared verified-plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.session.plan_cache_stats()
+    }
+
+    /// The database-wide serving counters (statements in flight, peak,
+    /// total statements, accumulated lock wait).
+    pub fn serving_counters(&self) -> Arc<ServingCounters> {
+        self.session.serving_counters()
     }
 
     /// The cost model converting I/O counts to time.
@@ -287,11 +327,11 @@ impl Database {
 
     /// Reads a full table into memory (debugging/tests).
     pub fn table_contents(&self, table: &str) -> Result<Relation, EngineError> {
-        let t = self
-            .catalog
+        let catalog = self.catalog();
+        let t = catalog
             .table(table)
             .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?;
-        let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
+        let pool = fuzzy_storage::BufferPool::new(self.disk(), self.session.config().buffer_pages);
         Ok(t.to_relation(&pool)?)
     }
 
@@ -299,6 +339,20 @@ impl Database {
     pub fn threshold(rel: &Relation, z: f64) -> Relation {
         rel.with_threshold(Degree::clamped(z), true)
     }
+}
+
+/// The result of [`Database::execute`] / [`Session::execute`].
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// A SELECT answer.
+    Rows(Relation),
+    /// Tuples inserted, deleted, or updated.
+    Affected(usize),
+    /// The rendered text of an `EXPLAIN`, `EXPLAIN ANALYZE`, or
+    /// `EXPLAIN VERIFY` statement.
+    Explained(String),
+    /// A DDL statement (CREATE TABLE, DEFINE TERM) succeeded.
+    Done,
 }
 
 #[cfg(test)]
@@ -322,8 +376,10 @@ mod tests {
         let mut db = tiny_db();
         db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(24.0)])).unwrap();
         db.insert("PEOPLE", Tuple::full(vec![Value::text("Zed"), Value::number(70.0)])).unwrap();
-        let ans =
-            db.query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
+        let ans = db
+            .query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'")
+            .collect()
+            .unwrap();
         assert_eq!(ans.len(), 1);
         assert_eq!(ans.tuples()[0].values[0], Value::text("Ann"));
         assert!((ans.tuples()[0].degree.value() - 0.8).abs() < 1e-9);
@@ -350,7 +406,7 @@ mod tests {
     #[test]
     fn unknown_table_errors() {
         let db = Database::new();
-        assert!(db.query("SELECT X.A FROM X").is_err());
+        assert!(db.query("SELECT X.A FROM X").collect().is_err());
         let mut db = Database::new();
         assert!(db.insert("X", Tuple::full(vec![Value::number(1.0)])).is_err());
     }
@@ -366,235 +422,67 @@ mod tests {
         )
         .unwrap();
         let sql = "SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'";
-        let a = db.query_with(sql, Strategy::Unnest).unwrap();
-        let b = db.query_with(sql, Strategy::Naive).unwrap();
+        let a = db.query(sql).run().unwrap();
+        let b = db.query(sql).strategy(Strategy::Naive).run().unwrap();
         assert_eq!(a.answer.canonicalized(), b.answer.canonicalized());
         assert!(a.measurement.io.reads > 0);
     }
 
     #[test]
-    fn threshold_helper() {
+    fn threshold_helper_and_builder_threshold() {
         let mut db = tiny_db();
         db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(23.0)])).unwrap();
-        let ans =
-            db.query("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
+        let sql = "SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'";
+        let ans = db.query(sql).collect().unwrap();
         assert_eq!(Database::threshold(&ans, 0.5).len(), 1); // degree 0.6
         assert_eq!(Database::threshold(&ans, 0.65).len(), 0);
-    }
-}
-
-/// The result of [`Database::execute`].
-#[derive(Debug, Clone)]
-pub enum StatementResult {
-    /// A SELECT answer.
-    Rows(Relation),
-    /// Tuples inserted, deleted, or updated.
-    Affected(usize),
-    /// The rendered text of an `EXPLAIN`, `EXPLAIN ANALYZE`, or
-    /// `EXPLAIN VERIFY` statement.
-    Explained(String),
-    /// A DDL statement (CREATE TABLE, DEFINE TERM) succeeded.
-    Done,
-}
-
-impl Database {
-    /// Executes one statement: SELECT, CREATE TABLE, DEFINE TERM, INSERT,
-    /// DELETE, or UPDATE (see `fuzzy_sql::statement` for the grammar).
-    ///
-    /// DELETE and UPDATE match tuples whose WHERE-condition degree is
-    /// positive (or meets the statement's `WITH D` threshold); matching is a
-    /// fuzzy condition like any other, so a vague WHERE clause deletes
-    /// precisely the tuples that *possibly* satisfy it above the bar.
-    /// Rewrites allocate fresh pages; old pages are not reclaimed (the
-    /// storage engine has no free list — a documented simplification).
-    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, EngineError> {
-        use fuzzy_rel::AttrType;
-        use fuzzy_sql::Statement;
-        match fuzzy_sql::parse_statement(sql)? {
-            Statement::Select(q) => {
-                let out = Engine::new(&self.catalog, &self.disk)
-                    .with_config(self.config)
-                    .run(&q, Strategy::Unnest)?;
-                Ok(StatementResult::Rows(out.answer))
-            }
-            Statement::Explain { mode, query } => {
-                let engine = Engine::new(&self.catalog, &self.disk)
-                    .with_config(self.config)
-                    .with_statistics(self.statistics.clone());
-                let text = match mode {
-                    fuzzy_sql::ExplainMode::Plan => engine.explain_query(&query)?,
-                    fuzzy_sql::ExplainMode::Analyze => engine.explain_analyze_query(&query)?.0,
-                    fuzzy_sql::ExplainMode::Verify => engine.explain_verify_query(&query)?,
-                };
-                Ok(StatementResult::Explained(text))
-            }
-            Statement::CreateTable { name, columns } => {
-                let attrs: Vec<(String, AttrType)> = columns
-                    .iter()
-                    .map(|c| {
-                        (c.name.clone(), if c.is_text { AttrType::Text } else { AttrType::Number })
-                    })
-                    .collect();
-                let mut schema = Schema::new(
-                    attrs.iter().map(|(n, t)| fuzzy_rel::Attribute::new(n.clone(), *t)).collect(),
-                );
-                if let Some(key) = columns.iter().find(|c| c.key) {
-                    schema = schema.with_key(&key.name);
-                }
-                self.create_table(&name, schema)?;
-                Ok(StatementResult::Done)
-            }
-            Statement::DefineTerm { name, shape } => {
-                let t = Trapezoid::new(shape.0, shape.1, shape.2, shape.3)
-                    .map_err(EngineError::Fuzzy)?;
-                self.define_term(&name, t);
-                Ok(StatementResult::Done)
-            }
-            Statement::Insert { table, values, degree } => {
-                let stored = self
-                    .catalog
-                    .table(&table)
-                    .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
-                    .clone();
-                if values.len() != stored.schema().len() {
-                    return Err(EngineError::Bind(format!(
-                        "{} values for {} columns of {}",
-                        values.len(),
-                        stored.schema().len(),
-                        stored.name()
-                    )));
-                }
-                let vals = values
-                    .iter()
-                    .enumerate()
-                    .map(|(i, o)| self.insert_value(o, stored.schema().attr(i)))
-                    .collect::<Result<Vec<_>, _>>()?;
-                let d = Degree::new(degree).map_err(EngineError::Fuzzy)?;
-                self.insert(&table, Tuple::new(vals, d))?;
-                Ok(StatementResult::Affected(usize::from(d.is_positive())))
-            }
-            Statement::Analyze { table } => {
-                let names: Vec<String> = match table {
-                    Some(t) => vec![t],
-                    None => self.catalog.table_names().map(|s| s.to_string()).collect(),
-                };
-                let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
-                let mut built = 0usize;
-                for name in names {
-                    let t = self
-                        .catalog
-                        .table(&name)
-                        .ok_or_else(|| EngineError::Bind(format!("unknown table {name:?}")))?
-                        .clone();
-                    for (idx, attr) in t.schema().attributes().iter().enumerate() {
-                        if attr.ty == AttrType::Number {
-                            self.statistics.histogram_for(&t, idx, &pool)?;
-                            built += 1;
-                        }
-                    }
-                }
-                Ok(StatementResult::Affected(built))
-            }
-            Statement::Delete { table, predicates, threshold } => {
-                self.rewrite_matching(&table, &predicates, threshold, |_t| None)
-            }
-            Statement::Update { table, assignments, predicates, threshold } => {
-                let stored = self
-                    .catalog
-                    .table(&table)
-                    .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
-                    .clone();
-                // Resolve assignment targets and values up front.
-                let mut resolved: Vec<(usize, fuzzy_core::Value)> = Vec::new();
-                for (col, op) in &assignments {
-                    let idx = stored.schema().index_of(&col.column).ok_or_else(|| {
-                        EngineError::Bind(format!("no attribute {} in {}", col.column, table))
-                    })?;
-                    resolved.push((idx, self.insert_value(op, stored.schema().attr(idx))?));
-                }
-                self.rewrite_matching(&table, &predicates, threshold, move |t| {
-                    let mut updated = t.clone();
-                    for (idx, v) in &resolved {
-                        updated.values[*idx] = v.clone();
-                    }
-                    Some(updated)
-                })
-            }
-        }
+        // The builder's per-statement default threshold agrees.
+        assert_eq!(db.query(sql).threshold(0.5).collect().unwrap().len(), 1);
+        assert_eq!(db.query(sql).threshold(0.65).collect().unwrap().len(), 0);
+        // An explicit WITH D wins over the session default.
+        let explicit = format!("{sql} WITH D > 0.1");
+        assert_eq!(db.query(explicit).threshold(0.65).collect().unwrap().len(), 1);
     }
 
-    /// Resolves an INSERT/UPDATE value operand against the target column.
-    fn insert_value(
-        &self,
-        o: &fuzzy_sql::Operand,
-        attr: &fuzzy_rel::Attribute,
-    ) -> Result<fuzzy_core::Value, EngineError> {
-        use fuzzy_core::Value;
-        use fuzzy_rel::AttrType;
-        use fuzzy_sql::Operand;
-        Ok(match (o, attr.ty) {
-            (Operand::Number(n), AttrType::Number) => Value::number(*n),
-            (Operand::FuzzyLiteral(a, b, c, d), AttrType::Number) => {
-                Value::fuzzy(Trapezoid::new(*a, *b, *c, *d).map_err(EngineError::Fuzzy)?)
-            }
-            (Operand::Term(t), AttrType::Text) => Value::text(t.clone()),
-            (Operand::Term(t), AttrType::Number) => {
-                let shape = self.catalog.vocabulary().resolve(t).map_err(EngineError::Fuzzy)?;
-                Value::fuzzy(shape)
-            }
-            (other, ty) => {
-                return Err(EngineError::Bind(format!(
-                    "value {other:?} does not fit {ty:?} column {}",
-                    attr.name
-                )))
-            }
-        })
+    #[test]
+    fn sessions_share_ddl_and_cache() {
+        let mut db = tiny_db();
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(24.0)])).unwrap();
+        let s1 = db.session();
+        let s2 = db.session();
+        let sql = "SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'";
+        assert_eq!(s1.query(sql).collect().unwrap().len(), 1);
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(s2.query(sql).collect().unwrap().len(), 1);
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "second session hits the shared cache");
+        // DDL through one handle is visible to the other.
+        s1.create_table("T2", Schema::of(&[("X", AttrType::Number)])).unwrap();
+        assert!(s2.catalog().table("T2").is_some());
     }
 
-    /// Shared DELETE/UPDATE machinery: rewrites the table, applying `map` to
-    /// matching tuples (`None` = delete). Returns the number of matches.
-    fn rewrite_matching(
-        &mut self,
-        table: &str,
-        predicates: &[fuzzy_sql::Predicate],
-        threshold: Option<fuzzy_sql::Threshold>,
-        map: impl Fn(&Tuple) -> Option<Tuple>,
-    ) -> Result<StatementResult, EngineError> {
-        let stored = self
-            .catalog
-            .table(table)
-            .ok_or_else(|| EngineError::Bind(format!("unknown table {table:?}")))?
-            .clone();
-        let pool = fuzzy_storage::BufferPool::new(&self.disk, self.config.buffer_pages);
-        let evaluator = fuzzy_engine::NaiveEvaluator::new(&self.catalog, &pool);
-        let (z, strict) = match threshold {
-            Some(t) => (Degree::clamped(t.z), t.strict),
-            None => (Degree::ZERO, true),
-        };
-        let mut kept: Vec<Tuple> = Vec::new();
-        let mut affected = 0usize;
-        for t in stored.scan(&pool) {
-            let t = t?;
-            let d = evaluator.match_degree(stored.name(), stored.schema(), &t, predicates)?;
-            if d.meets(z, strict) {
-                affected += 1;
-                if let Some(updated) = map(&t) {
-                    kept.push(updated);
-                }
-            } else {
-                kept.push(t);
+    #[test]
+    fn prepared_queries_pin_and_go_stale() {
+        let mut db = tiny_db();
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Ann"), Value::number(24.0)])).unwrap();
+        let prepared =
+            db.prepare("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
+        let first = prepared.run().unwrap();
+        assert_eq!(first.answer.len(), 1);
+        assert_eq!(first.serving.plan_verifications, 0);
+        assert_eq!(first.serving.cache_hit, Some(true));
+        // DML bumps the catalog version: the pinned plan is now stale.
+        db.insert("PEOPLE", Tuple::full(vec![Value::text("Bob"), Value::number(25.0)])).unwrap();
+        match prepared.run() {
+            Err(EngineError::StalePlan { planned_version, catalog_version }) => {
+                assert!(catalog_version > planned_version);
             }
+            other => panic!("expected StalePlan, got {other:?}"),
         }
-        // Rewrite into a fresh file and swap it into the catalog.
-        let fresh = fuzzy_storage::HeapFile::create(&self.disk);
-        {
-            let mut w = fresh.bulk_writer();
-            for t in &kept {
-                w.append(&t.encode(stored.min_record_bytes()))?;
-            }
-            w.finish()?;
-        }
-        self.catalog.register(stored.with_file(stored.name().to_string(), fresh));
-        Ok(StatementResult::Affected(affected))
+        // Re-preparing sees the new data.
+        let again =
+            db.prepare("SELECT PEOPLE.NAME FROM PEOPLE WHERE PEOPLE.AGE = 'medium young'").unwrap();
+        assert_eq!(again.collect().unwrap().len(), 2);
     }
 }

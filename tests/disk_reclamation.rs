@@ -69,7 +69,7 @@ const CORPUS: &[(&str, &str)] = &[
 #[test]
 fn live_pages_return_to_baseline_after_every_corpus_class() {
     let db = fixture(4);
-    let engine = Engine::new(db.catalog(), db.disk());
+    let engine = Engine::over(db.catalog(), db.disk());
     let baseline = db.disk().live_pages();
     assert!(baseline > 0, "fixture tables should own pages");
     let mut nonempty = 0usize;
@@ -89,16 +89,16 @@ fn repeated_statements_do_not_grow_the_disk() {
     let db = fixture(4);
     let sql = CORPUS.iter().find(|(n, _)| *n == "chain3").unwrap().1;
     for (label, engine, strategy) in [
-        ("merge", Engine::new(db.catalog(), db.disk()), Strategy::Unnest),
+        ("merge", Engine::over(db.catalog(), db.disk()), Strategy::Unnest),
         (
             "partitioned",
-            Engine::new(db.catalog(), db.disk()).with_config(ExecConfig {
+            Engine::over(db.catalog(), db.disk()).with_config(ExecConfig {
                 join_method: JoinMethod::Partitioned,
                 ..Default::default()
             }),
             Strategy::Unnest,
         ),
-        ("naive", Engine::new(db.catalog(), db.disk()), Strategy::Naive),
+        ("naive", Engine::over(db.catalog(), db.disk()), Strategy::Naive),
     ] {
         let baseline = db.disk().live_pages();
         let first = engine.run_sql(sql, strategy).unwrap();
@@ -125,7 +125,7 @@ fn repeated_statements_do_not_grow_the_disk() {
 #[test]
 fn failed_statements_reclaim_their_pages() {
     let db = fixture(1);
-    let engine = Engine::new(db.catalog(), db.disk());
+    let engine = Engine::over(db.catalog(), db.disk());
     let baseline = db.disk().live_pages();
     let err =
         engine.run_sql("SELECT R.ID FROM R, S WHERE R.X = S.X ORDER BY NOPE", Strategy::Unnest);

@@ -29,19 +29,19 @@ const TYPE_J: &str = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S
 #[test]
 fn nested_loop_examines_the_full_cross_product() {
     let db = workload_db(600, 7, 32);
-    let nl = db.query_with(TYPE_J, Strategy::NestedLoop).unwrap();
+    let nl = db.query(TYPE_J).strategy(Strategy::NestedLoop).run().unwrap();
     assert_eq!(nl.exec_stats.pairs_examined, 600 * 600);
 }
 
 #[test]
 fn merge_join_examines_only_windows() {
     let db = workload_db(600, 7, 32);
-    let mj = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
+    let mj = db.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
     // Window size ≈ fan-out, so pairs ≈ n × C, far below n².
     assert!(mj.exec_stats.pairs_examined < 600 * 60, "pairs {}", mj.exec_stats.pairs_examined);
     assert!(mj.exec_stats.pairs_examined >= 600, "pairs {}", mj.exec_stats.pairs_examined);
     // And the answers agree.
-    let nl = db.query_with(TYPE_J, Strategy::NestedLoop).unwrap();
+    let nl = db.query(TYPE_J).strategy(Strategy::NestedLoop).run().unwrap();
     assert_eq!(mj.answer.canonicalized(), nl.answer.canonicalized());
 }
 
@@ -51,7 +51,7 @@ fn nested_loop_io_follows_block_formula() {
     let db = workload_db(4000, 4, 8);
     let b = db.catalog().table("R").unwrap().num_pages();
     let b_s = db.catalog().table("S").unwrap().num_pages();
-    let nl = db.query_with(TYPE_J, Strategy::NestedLoop).unwrap();
+    let nl = db.query(TYPE_J).strategy(Strategy::NestedLoop).run().unwrap();
     let expect = b + b.div_ceil(7) * b_s;
     let got = nl.measurement.io.reads;
     assert!(
@@ -67,7 +67,7 @@ fn merge_join_io_is_near_linear() {
     let db = workload_db(4000, 4, 64);
     let pages =
         db.catalog().table("R").unwrap().num_pages() + db.catalog().table("S").unwrap().num_pages();
-    let mj = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
+    let mj = db.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
     let total_io = mj.measurement.io.total();
     assert!(total_io <= pages * 8, "merge-join I/O {total_io} not linear in {pages} base pages");
 }
@@ -80,7 +80,7 @@ fn merge_join_io_constant_in_fanout() {
     let mut pairs = Vec::new();
     for fanout in [1usize, 16, 64] {
         let db = workload_db(2000, fanout, 64);
-        let mj = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
+        let mj = db.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
         ios.push(mj.measurement.io.total());
         pairs.push(mj.exec_stats.pairs_examined);
     }
@@ -93,8 +93,8 @@ fn merge_join_io_constant_in_fanout() {
 fn small_buffers_cause_more_nested_loop_io() {
     let db_small = workload_db(3000, 4, 4);
     let db_big = workload_db(3000, 4, 128);
-    let small = db_small.query_with(TYPE_J, Strategy::NestedLoop).unwrap();
-    let big = db_big.query_with(TYPE_J, Strategy::NestedLoop).unwrap();
+    let small = db_small.query(TYPE_J).strategy(Strategy::NestedLoop).run().unwrap();
+    let big = db_big.query(TYPE_J).strategy(Strategy::NestedLoop).run().unwrap();
     assert!(
         small.measurement.io.reads > big.measurement.io.reads * 3,
         "small-buffer NL reads {} vs big-buffer {}",
@@ -108,8 +108,8 @@ fn sort_dominates_merge_join_io_as_input_grows() {
     // Table 3's trend: the sort share of the merge-join grows with input.
     let small = workload_db(1000, 7, 16);
     let large = workload_db(8000, 7, 16);
-    let s = small.query_with(TYPE_J, Strategy::Unnest).unwrap();
-    let l = large.query_with(TYPE_J, Strategy::Unnest).unwrap();
+    let s = small.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
+    let l = large.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
     let share = |o: &fuzzy_db::QueryOutcome| {
         (o.exec_stats.sort_reads + o.exec_stats.sort_writes) as f64
             / o.measurement.io.total().max(1) as f64
@@ -126,13 +126,15 @@ fn sort_dominates_merge_join_io_as_input_grows() {
 fn answers_identical_across_buffer_sizes() {
     // Buffer budgets change costs, never answers.
     let reference = workload_db(1500, 7, 128)
-        .query_with(TYPE_J, Strategy::Unnest)
+        .query(TYPE_J)
+        .strategy(Strategy::Unnest)
+        .run()
         .unwrap()
         .answer
         .canonicalized();
     for pages in [4usize, 16, 64] {
         let db = workload_db(1500, 7, pages);
-        let out = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
+        let out = db.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
         assert_eq!(out.answer.canonicalized(), reference, "buffer {pages} changed the answer");
     }
 }
@@ -144,7 +146,7 @@ fn merge_windows_track_the_fanout() {
     // window stays within a small multiple of C.
     for fanout in [2usize, 8, 32] {
         let db = workload_db(2000, fanout, 64);
-        let mj = db.query_with(TYPE_J, Strategy::Unnest).unwrap();
+        let mj = db.query(TYPE_J).strategy(Strategy::Unnest).run().unwrap();
         let w = mj.exec_stats.max_window;
         assert!(
             w as usize >= fanout / 2 && w as usize <= fanout * 6 + 8,
@@ -184,8 +186,8 @@ fn wide_tuples_flow_through_joins() {
     }
     let db = Database::from_catalog(catalog, disk);
     let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)";
-    let a = db.query_with(sql, Strategy::Unnest).unwrap();
-    let b = db.query_with(sql, Strategy::Naive).unwrap();
+    let a = db.query(sql).strategy(Strategy::Unnest).run().unwrap();
+    let b = db.query(sql).strategy(Strategy::Naive).run().unwrap();
     assert_eq!(a.answer.canonicalized(), b.answer.canonicalized());
     assert_eq!(a.answer.len(), 120);
 }
@@ -218,8 +220,8 @@ fn heavy_duplicate_values_in_aggregate_groups() {
     catalog.register(s);
     let db = Database::from_catalog(catalog, disk);
     let sql = "SELECT R.Z FROM R WHERE 2 >= (SELECT COUNT(S.Z) FROM S WHERE S.U = R.U)";
-    let a = db.query_with(sql, Strategy::Unnest).unwrap();
-    let naive = db.query_with(sql, Strategy::Naive).unwrap();
+    let a = db.query(sql).strategy(Strategy::Unnest).run().unwrap();
+    let naive = db.query(sql).strategy(Strategy::Naive).run().unwrap();
     assert_eq!(a.answer.canonicalized(), naive.answer.canonicalized());
     // Every R tuple's group has exactly 2 distinct values: all pass.
     assert_eq!(a.answer.len(), 10);

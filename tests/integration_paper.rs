@@ -20,6 +20,7 @@ fn example_41_exact_answer_via_facade() {
              WHERE F.AGE = 'medium young' AND F.INCOME IN \
              (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')",
         )
+        .collect()
         .unwrap();
     let mut rows: Vec<(String, f64)> =
         answer.tuples().iter().map(|t| (t.values[0].to_string(), t.degree.value())).collect();
@@ -36,11 +37,11 @@ fn all_strategies_choose_expected_plans() {
     let db = dating_db();
     let sql = "SELECT F.NAME FROM F WHERE F.INCOME IN \
                (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
-    let unnest = db.query_with(sql, Strategy::Unnest).unwrap();
+    let unnest = db.query(sql).strategy(Strategy::Unnest).run().unwrap();
     assert!(unnest.plan_label.starts_with("unnest:flat-join"), "{}", unnest.plan_label);
-    let nl = db.query_with(sql, Strategy::NestedLoop).unwrap();
+    let nl = db.query(sql).strategy(Strategy::NestedLoop).run().unwrap();
     assert!(nl.plan_label.starts_with("nested-loop:"), "{}", nl.plan_label);
-    let naive = db.query_with(sql, Strategy::Naive).unwrap();
+    let naive = db.query(sql).strategy(Strategy::Naive).run().unwrap();
     assert_eq!(naive.plan_label, "naive");
     assert_eq!(unnest.answer.canonicalized(), nl.answer.canonicalized());
     assert_eq!(unnest.answer.canonicalized(), naive.answer.canonicalized());
@@ -51,26 +52,21 @@ fn exists_unnests_and_general_shapes_fall_back() {
     let db = dating_db();
     // EXISTS now unnests to a semi-join-style flat plan.
     let out = db
-        .query_with(
-            "SELECT F.NAME FROM F WHERE EXISTS (SELECT M.NAME FROM M WHERE M.AGE = F.AGE)",
-            Strategy::Unnest,
-        )
+        .query("SELECT F.NAME FROM F WHERE EXISTS (SELECT M.NAME FROM M WHERE M.AGE = F.AGE)")
+        .strategy(Strategy::Unnest)
+        .run()
         .unwrap();
     assert!(out.plan_label.starts_with("unnest:flat-join"), "{}", out.plan_label);
     assert!(!out.answer.is_empty());
     let naive = db
-        .query_with(
-            "SELECT F.NAME FROM F WHERE EXISTS (SELECT M.NAME FROM M WHERE M.AGE = F.AGE)",
-            Strategy::Naive,
-        )
+        .query("SELECT F.NAME FROM F WHERE EXISTS (SELECT M.NAME FROM M WHERE M.AGE = F.AGE)")
+        .strategy(Strategy::Naive)
+        .run()
         .unwrap();
     assert_eq!(out.answer.canonicalized(), naive.answer.canonicalized());
     // Shapes outside the catalogue still fall back transparently.
     let out = db
-        .query_with(
-            "SELECT F.NAME FROM F WHERE F.AGE IN (SELECT M.AGE FROM M) AND              F.INCOME IN (SELECT M.INCOME FROM M)",
-            Strategy::Unnest,
-        )
+        .query("SELECT F.NAME FROM F WHERE F.AGE IN (SELECT M.AGE FROM M) AND              F.INCOME IN (SELECT M.INCOME FROM M)").strategy(Strategy::Unnest).run()
         .unwrap();
     assert_eq!(out.plan_label, "naive-fallback");
 }
@@ -78,7 +74,7 @@ fn exists_unnests_and_general_shapes_fall_back() {
 #[test]
 fn measurement_accounts_io() {
     let db = dating_db();
-    let out = db.query_with("SELECT F.NAME FROM F", Strategy::Unnest).unwrap();
+    let out = db.query("SELECT F.NAME FROM F").strategy(Strategy::Unnest).run().unwrap();
     assert!(out.measurement.io.reads >= 1);
     let rt = out.response_time(db.cost_model());
     assert!(rt >= out.measurement.cpu);
@@ -88,8 +84,8 @@ fn measurement_accounts_io() {
 fn with_clause_prunes_weak_answers() {
     let db = dating_db();
     let base = "SELECT F.NAME, M.NAME FROM F, M WHERE F.AGE = M.AGE";
-    let all = db.query(base).unwrap();
-    let strong = db.query(&format!("{base} WITH D >= 1")).unwrap();
+    let all = db.query(base).collect().unwrap();
+    let strong = db.query(format!("{base} WITH D >= 1")).collect().unwrap();
     assert!(strong.len() < all.len());
     assert!(strong.tuples().iter().all(|t| t.degree.value() >= 1.0 - 1e-12));
 }
@@ -103,16 +99,17 @@ fn vocabulary_terms_resolve_in_queries() {
     // cannot be "medium young" at all.
     let both = db
         .query("SELECT F.NAME FROM F WHERE F.AGE = 'about 50' AND F.AGE = 'medium young'")
+        .collect()
         .unwrap();
     let names: Vec<String> = both.tuples().iter().map(|t| t.values[0].to_string()).collect();
     assert!(names.contains(&"Betty".to_string()), "answer: {both}");
     assert!(!names.contains(&"Cathy".to_string()), "answer: {both}");
     assert!((both.degree_of(&[fuzzy_core::Value::text("Betty")]).value() - 0.4).abs() < 1e-9);
     // Unknown terms over numeric attributes simply never match.
-    let unknown = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'galactic age'").unwrap();
+    let unknown = db.query("SELECT F.NAME FROM F WHERE F.AGE = 'galactic age'").collect().unwrap();
     assert!(unknown.is_empty());
     // Over text attributes, quoted literals are plain strings.
-    let ann = db.query("SELECT F.ID FROM F WHERE F.NAME = 'Ann'").unwrap();
+    let ann = db.query("SELECT F.ID FROM F WHERE F.NAME = 'Ann'").collect().unwrap();
     assert_eq!(ann.len(), 2);
 }
 

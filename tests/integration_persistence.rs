@@ -44,18 +44,19 @@ fn database_roundtrips_through_disk() {
             ],
         )
         .unwrap();
-        first_answer = db.query(query).unwrap();
+        first_answer = db.query(query).collect().unwrap();
         assert_eq!(first_answer.len(), 2);
         db.save().unwrap();
     }
     // Reopen from disk: schema, vocabulary, key, data, and answers identical.
     {
         let db = Database::open(&base).unwrap();
-        let t = db.catalog().table("PEOPLE").unwrap();
+        let catalog = db.catalog();
+        let t = catalog.table("PEOPLE").unwrap();
         assert_eq!(t.num_tuples(), 3);
         assert_eq!(t.schema().key(), Some(0));
-        assert!(db.catalog().vocabulary().get("medium young").is_some());
-        let again = db.query(query).unwrap();
+        assert!(catalog.vocabulary().get("medium young").is_some());
+        let again = db.query(query).collect().unwrap();
         assert_eq!(again, first_answer);
     }
     cleanup(&base);

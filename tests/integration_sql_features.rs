@@ -37,8 +37,7 @@ fn sales_db() -> Database {
 fn group_by_with_count_and_sum() {
     let db = sales_db();
     let ans = db
-        .query("SELECT SALES.REGION, COUNT(SALES.AMOUNT), SUM(SALES.AMOUNT) FROM SALES GROUP BY SALES.REGION")
-        .unwrap();
+        .query("SELECT SALES.REGION, COUNT(SALES.AMOUNT), SUM(SALES.AMOUNT) FROM SALES GROUP BY SALES.REGION").collect().unwrap();
     assert_eq!(ans.len(), 3);
     let north = ans.tuples().iter().find(|t| t.values[0] == Value::text("north")).unwrap();
     assert_eq!(north.values[1], Value::number(3.0));
@@ -54,6 +53,7 @@ fn having_filters_groups() {
             "SELECT SALES.REGION FROM SALES GROUP BY SALES.REGION \
              HAVING COUNT(*) >= 2",
         )
+        .collect()
         .unwrap();
     let regions: Vec<String> = ans.tuples().iter().map(|t| t.values[0].to_string()).collect();
     assert!(regions.contains(&"north".to_string()));
@@ -72,6 +72,7 @@ fn having_with_fuzzy_aggregate_grades_groups() {
             "SELECT SALES.REGION FROM SALES GROUP BY SALES.REGION \
              HAVING SUM(SALES.AMOUNT) > 14",
         )
+        .collect()
         .unwrap();
     let south = ans.tuples().iter().find(|t| t.values[0] == Value::text("south"));
     let d = south.expect("south partially satisfies").degree.value();
@@ -83,6 +84,7 @@ fn having_column_must_be_grouped() {
     let db = sales_db();
     let err = db
         .query("SELECT SALES.REGION FROM SALES GROUP BY SALES.REGION HAVING SALES.AMOUNT > 1")
+        .collect()
         .unwrap_err();
     assert!(err.to_string().contains("not in GROUP BY"), "{err}");
 }
@@ -95,6 +97,7 @@ fn order_by_degree_ranks_possibilistic_answers() {
             "SELECT SALES.REGION FROM SALES WHERE SALES.AGE = 'medium young' \
              ORDER BY D DESC",
         )
+        .collect()
         .unwrap();
     let degrees: Vec<f64> = ans.tuples().iter().map(|t| t.degree.value()).collect();
     assert!(!degrees.is_empty());
@@ -109,18 +112,19 @@ fn limit_gives_top_k() {
             "SELECT SALES.REGION FROM SALES WHERE SALES.AGE = 'medium young' \
              ORDER BY D DESC LIMIT 1",
         )
+        .collect()
         .unwrap();
     assert_eq!(top1.len(), 1);
     // The age 27 tuple is a full member of medium young.
     assert_eq!(top1.tuples()[0].degree.value(), 1.0);
-    let none = db.query("SELECT SALES.REGION FROM SALES LIMIT 0").unwrap();
+    let none = db.query("SELECT SALES.REGION FROM SALES LIMIT 0").collect().unwrap();
     assert!(none.is_empty());
 }
 
 #[test]
 fn order_by_column_uses_interval_order() {
     let db = sales_db();
-    let ans = db.query("SELECT SALES.AMOUNT FROM SALES ORDER BY AMOUNT").unwrap();
+    let ans = db.query("SELECT SALES.AMOUNT FROM SALES ORDER BY AMOUNT").collect().unwrap();
     let firsts: Vec<f64> = ans.tuples().iter().map(|t| t.values[0].interval().unwrap().0).collect();
     assert!(firsts.windows(2).all(|w| w[0] <= w[1]), "not ⪯-ordered: {firsts:?}");
 }
@@ -133,7 +137,7 @@ fn order_and_limit_apply_on_all_strategies() {
     // This reuses the SALES binding inside the sub-query under a different
     // alias, so both strategies can handle it.
     for strategy in [Strategy::Naive, Strategy::Unnest] {
-        let out = db.query_with(sql, strategy).unwrap();
+        let out = db.query(sql).strategy(strategy).run().unwrap();
         assert!(out.answer.len() <= 2, "{strategy:?}: {}", out.answer);
     }
 }
@@ -142,22 +146,30 @@ fn order_and_limit_apply_on_all_strategies() {
 fn similarity_predicate_end_to_end() {
     let db = sales_db();
     // amount ~ 18 within 5: matches 20 with degree 1 - 2/5 = 0.6.
-    let ans = db.query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT ~ 18 WITHIN 5").unwrap();
+    let ans = db
+        .query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT ~ 18 WITHIN 5")
+        .collect()
+        .unwrap();
     assert_eq!(ans.len(), 1);
     assert!((ans.tuples()[0].degree.value() - 0.6).abs() < 1e-9);
     // Zero tolerance is a parse error; plain equality gives nothing at 18.
-    assert!(db.query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT = 18").unwrap().is_empty());
+    assert!(db
+        .query("SELECT SALES.AMOUNT FROM SALES WHERE SALES.AMOUNT = 18")
+        .collect()
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
 fn limit_in_subquery_falls_back_to_naive() {
     let db = sales_db();
     let out = db
-        .query_with(
+        .query(
             "SELECT SALES.REGION FROM SALES WHERE SALES.AMOUNT IN \
              (SELECT S2.AMOUNT FROM SALES S2 ORDER BY D DESC LIMIT 1)",
-            Strategy::Unnest,
         )
+        .strategy(Strategy::Unnest)
+        .run()
         .unwrap();
     assert_eq!(out.plan_label, "naive-fallback");
 }
@@ -169,17 +181,21 @@ fn linguistic_hedges_in_queries() {
     // term, so 24 (0.8 under the base term) drops to 0.6.
     let base = db
         .query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'medium young' ORDER BY AGE")
+        .collect()
         .unwrap();
     let very = db
         .query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'very medium young' ORDER BY AGE")
+        .collect()
         .unwrap();
     assert!(!very.is_empty());
     for t in very.tuples() {
         let b = base.degree_of(&t.values);
         assert!(t.degree <= b, "very must not raise degrees: {} vs {}", t.degree, b);
     }
-    let somewhat =
-        db.query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'somewhat medium young'").unwrap();
+    let somewhat = db
+        .query("SELECT SALES.AGE FROM SALES WHERE SALES.AGE = 'somewhat medium young'")
+        .collect()
+        .unwrap();
     assert!(somewhat.len() >= base.len(), "somewhat widens the match set");
 }
 
@@ -199,13 +215,14 @@ fn degree_pseudo_column_in_predicates() {
         ],
     )
     .unwrap();
-    let out = db.query_with("SELECT T.NAME FROM T WHERE T.D >= 0.5", Strategy::Unnest).unwrap();
+    let out =
+        db.query("SELECT T.NAME FROM T WHERE T.D >= 0.5").strategy(Strategy::Unnest).run().unwrap();
     assert_eq!(out.plan_label, "naive-fallback", "{}", out.plan_label);
     assert_eq!(out.answer.len(), 1);
     assert_eq!(out.answer.tuples()[0].values[0], Value::text("strong"));
     // Unlike WITH D (which thresholds the final answer), a D predicate joins
     // the conjunction: the weak tuple's answer degree would be
     // min(0.2, [0.2 >= 0.5]) = 0.
-    let all = db.query("SELECT T.NAME FROM T WITH D > 0.1").unwrap();
+    let all = db.query("SELECT T.NAME FROM T WITH D > 0.1").collect().unwrap();
     assert_eq!(all.len(), 2);
 }

@@ -30,7 +30,7 @@ fn dating_db() -> (Catalog, SimDisk) {
 #[test]
 fn merge_join_work_bounded_by_nested_loop() {
     let (catalog, disk) = workload_db(400, 7);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)";
     let mj = engine.run_sql(sql, Strategy::Unnest).unwrap();
     let nl = engine.run_sql(sql, Strategy::NestedLoop).unwrap();
@@ -69,7 +69,7 @@ fn assert_buffers_balance(out: &QueryOutcome, context: &str) {
 #[test]
 fn buffer_hits_plus_misses_equal_requests() {
     let (catalog, disk) = workload_db(300, 11);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.ID <> R.ID)";
     for strategy in
         [Strategy::Unnest, Strategy::NestedLoop, Strategy::MaterializedNestedLoop, Strategy::Naive]
@@ -87,7 +87,7 @@ fn buffer_hits_plus_misses_equal_requests() {
 #[test]
 fn final_operator_tuples_out_matches_answer() {
     let (catalog, disk) = workload_db(200, 3);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let queries = [
         "SELECT R.ID FROM R WHERE R.V >= 500",
         "SELECT R.ID FROM R, S WHERE R.X = S.X WITH D > 0.3",
@@ -121,7 +121,7 @@ fn final_operator_tuples_out_matches_answer() {
 #[test]
 fn threshold_pushdown_records_pruned_pairs() {
     let (catalog, disk) = workload_db(300, 21);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let out = engine
         .run_sql(
             "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S) WITH D > 0.9",
@@ -145,7 +145,7 @@ fn threshold_pushdown_records_pruned_pairs() {
 #[test]
 fn naive_and_unnest_count_comparisons_in_the_same_unit() {
     let (catalog, disk) = dating_db();
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let sql = "SELECT F.NAME FROM F \
                WHERE F.AGE = 'medium young' AND F.INCOME IN \
                (SELECT M.INCOME FROM M WHERE M.AGE = 'middle age')";
@@ -167,7 +167,7 @@ fn explain_analyze_reports_actual_operators() {
     let mut db = Database::from_catalog(catalog, disk);
     let sql = "SELECT F.NAME FROM F WHERE F.INCOME IN \
                (SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)";
-    let rows = db.query(sql).unwrap().len();
+    let rows = db.query(sql).collect().unwrap().len();
     let text = match db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap() {
         fuzzy_db::StatementResult::Explained(text) => text,
         other => panic!("expected Explained, got {other:?}"),
@@ -191,7 +191,7 @@ fn explain_analyze_reports_actual_operators() {
 #[test]
 fn explain_analyze_covers_every_query_class() {
     let (catalog, disk) = workload_db(80, 5);
-    let engine = Engine::new(&catalog, &disk);
+    let engine = Engine::over(catalog.clone().into(), &disk);
     let queries = [
         ("Flat", "SELECT R.ID FROM R, S WHERE R.X = S.X WITH D > 0.3"),
         ("TypeN", "SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S)"),
@@ -264,8 +264,8 @@ fn pipelined_chain_beats_materialized_write_pin() {
                (SELECT S.X FROM S WHERE S.X IN (SELECT T.X FROM T))";
     let (catalog, disk) = chain_db(8);
     for threads in [1usize, 2, 4, 8] {
-        let engine =
-            Engine::new(&catalog, &disk).with_config(ExecConfig { threads, ..Default::default() });
+        let engine = Engine::over(catalog.clone().into(), &disk)
+            .with_config(ExecConfig { threads, ..Default::default() });
         let out = engine.run_sql(sql, Strategy::Unnest).unwrap();
         let t = out.metrics.totals();
         let label = format!("chain3 scale 8, {threads} thread(s)");
@@ -291,7 +291,7 @@ fn partitioned_join_ignores_thread_count() {
     let (catalog, disk) = workload_db(300, 17);
     let sql = "SELECT R.ID, S.ID FROM R, S WHERE R.X = S.X";
     let run = |threads: usize| {
-        let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+        let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
             join_method: JoinMethod::Partitioned,
             threads,
             ..Default::default()

@@ -41,7 +41,7 @@ struct Run {
 }
 
 fn run(catalog: &Catalog, disk: &SimDisk, sql: &str, threads: usize, pages: usize) -> Run {
-    let engine = Engine::new(catalog, disk).with_config(ExecConfig {
+    let engine = Engine::over(catalog.clone().into(), disk).with_config(ExecConfig {
         buffer_pages: pages,
         sort_pages: pages,
         threads,

@@ -47,7 +47,7 @@ proptest! {
             build(n_outer, n_inner, fanout, fuzzy_tenths as f64 / 10.0, seed);
         for sql in [TYPE_J, FLAT_WITH_THRESHOLD] {
             let run = |threads: usize| {
-                let engine = Engine::new(&catalog, &disk).with_config(ExecConfig {
+                let engine = Engine::over(catalog.clone().into(), &disk).with_config(ExecConfig {
                     buffer_pages: 4, // tiny budgets force spills and merge passes
                     sort_pages: 4,
                     threads,

@@ -59,7 +59,7 @@ struct Run {
 }
 
 fn run(catalog: &Catalog, disk: &SimDisk, sql: &str, threads: usize, pipeline: bool) -> Run {
-    let engine = Engine::new(catalog, disk).with_config(ExecConfig {
+    let engine = Engine::over(catalog.clone().into(), disk).with_config(ExecConfig {
         threads,
         pipeline_joins: pipeline,
         ..Default::default()

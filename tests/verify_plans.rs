@@ -75,7 +75,7 @@ const CORPUS: &[(&str, &str)] = &[
 fn corpus_verifies_cleanly_at_both_scales() {
     for scale in [1usize, 4] {
         let db = fixture(scale);
-        let engine = Engine::new(db.catalog(), db.disk());
+        let engine = Engine::over(db.catalog(), db.disk());
         for (name, sql) in CORPUS {
             let report = engine.verify(sql).unwrap();
             if *name == "general_fallback" {
@@ -98,7 +98,7 @@ fn corpus_verifies_cleanly_at_both_scales() {
 fn corpus_runs_match_naive_under_every_thread_count() {
     let db = fixture(1);
     for threads in [1usize, 2, 4, 8] {
-        let engine = Engine::new(db.catalog(), db.disk()).with_threads(threads);
+        let engine = Engine::over(db.catalog(), db.disk()).with_threads(threads);
         for (name, sql) in CORPUS {
             // Under debug_assertions the executor verifies each plan before
             // running it, so a corpus violation would fail here loudly.
@@ -116,7 +116,7 @@ fn corpus_runs_match_naive_under_every_thread_count() {
 #[test]
 fn reordered_three_way_join_verifies_cleanly() {
     let db = fixture(1);
-    let engine = Engine::new(db.catalog(), db.disk());
+    let engine = Engine::over(db.catalog(), db.disk());
     let sql = "SELECT R.ID FROM R, S, T WHERE R.X = S.X AND S.V = T.V";
     let report = engine.verify(sql).unwrap().expect("flat plan expected");
     assert!(report.ok(), "reordered plan failed verification: {:?}", report.violations);
@@ -124,7 +124,7 @@ fn reordered_three_way_join_verifies_cleanly() {
     // reordered one: switching the optimizer off must also verify (both
     // orders are legal; the point is each is checked as-it-runs).
     let config = ExecConfig { reorder_joins: false, ..ExecConfig::default() };
-    let engine_off = Engine::new(db.catalog(), db.disk()).with_config(config);
+    let engine_off = Engine::over(db.catalog(), db.disk()).with_config(config);
     let report_off = engine_off.verify(sql).unwrap().expect("flat plan expected");
     assert!(report_off.ok(), "unreordered plan failed: {:?}", report_off.violations);
 }
@@ -137,7 +137,7 @@ fn reordered_three_way_join_verifies_cleanly() {
 #[test]
 fn similarity_join_matches_naive() {
     let db = fixture(1);
-    let engine = Engine::new(db.catalog(), db.disk());
+    let engine = Engine::over(db.catalog(), db.disk());
     let sql = "SELECT R.ID FROM R, S WHERE R.X ~ S.X WITHIN 15";
     let unnest = engine.run_sql(sql, Strategy::Unnest).unwrap();
     let naive = engine.run_sql(sql, Strategy::Naive).unwrap();
@@ -217,7 +217,7 @@ fn mistagged_type_n_with_correlated_inner_is_rejected() {
     let q =
         fuzzy_db::sql::parse("SELECT R.ID FROM R WHERE R.X IN (SELECT S.X FROM S WHERE S.V = R.V)")
             .unwrap();
-    let mut plan = build_plan(&q, db.catalog()).unwrap();
+    let mut plan = build_plan(&q, &db.catalog()).unwrap();
     // The transformer correctly tags this TypeJ (T4.2). Forge the tag.
     let UnnestPlan::Flat(p) = &mut plan else { panic!("flat plan expected") };
     let blocks = p.rule.blocks().expect("leveled rule").to_vec();
